@@ -1,0 +1,178 @@
+// Command embench regenerates every table and figure of the survey
+// reproduction as aligned text rows — the same experiments bench_test.go
+// runs under testing.B, at the full parameter sweeps recorded in
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	embench            # run everything
+//	embench T1 F4 ...  # run selected experiment ids
+//	embench -quick     # reduced sweeps (seconds instead of minutes)
+//	embench -list      # list experiment ids and claims
+//
+// All numbers are counted block transfers on the instrumented Parallel Disk
+// Model; wall-clock timing is deliberately not reported (the survey's
+// currency is I/Os, and the repro band warns that Go's GC and buffering
+// obscure physical timing).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"em/internal/experiments"
+)
+
+// experiment couples an id with the function that regenerates its table.
+type experiment struct {
+	id    string
+	claim string
+	run   func(quick bool) (*experiments.Table, error)
+}
+
+var catalogue = []experiment{
+	{"T1", "fundamental bounds: Scan/Sort/Search match Θ-formulas", func(q bool) (*experiments.Table, error) {
+		if q {
+			return experiments.T1FundamentalBounds([]int{1 << 12, 1 << 14})
+		}
+		return experiments.T1FundamentalBounds([]int{1 << 14, 1 << 16, 1 << 18})
+	}},
+	{"T2", "merge ≈ distribution ≈ Sort(N); B-tree insertion sort loses ~B/log m", func(q bool) (*experiments.Table, error) {
+		if q {
+			return experiments.T2SortingAlgorithms([]int{1 << 12})
+		}
+		return experiments.T2SortingAlgorithms([]int{1 << 12, 1 << 14, 1 << 16})
+	}},
+	{"F1", "merge passes = ceil(log_m(runs)) as memory sweeps", func(q bool) (*experiments.Table, error) {
+		n := 1 << 16
+		if q {
+			n = 1 << 14
+		}
+		return experiments.F1MergePassesVsMemory(n, []int{2, 4, 8, 16, 64, 256})
+	}},
+	{"F2", "replacement selection: 2M runs on random input, 1 run nearly-sorted", func(q bool) (*experiments.Table, error) {
+		n := 1 << 16
+		if q {
+			n = 1 << 13
+		}
+		return experiments.F2RunFormation(n)
+	}},
+	{"F3", "disk striping: scan steps ÷D, striped sort pays reduced arity", func(q bool) (*experiments.Table, error) {
+		n := 1 << 15
+		if q {
+			n = 1 << 13
+		}
+		return experiments.F3DiskStriping(n, []int{1, 2, 4, 8})
+	}},
+	{"T3", "permuting Θ(min(N, Sort(N))): crossover location", func(q bool) (*experiments.Table, error) {
+		if q {
+			return experiments.T3Permuting([]int{1 << 8, 1 << 12})
+		}
+		return experiments.T3Permuting([]int{1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16})
+	}},
+	{"T4", "transpose: blocked beats naive column walk ≈ ×B", func(q bool) (*experiments.Table, error) {
+		if q {
+			return experiments.T4Transpose([]int{32, 64})
+		}
+		return experiments.T4Transpose([]int{32, 64, 128, 256})
+	}},
+	{"T5", "online search: binary > B-tree > hashing in probes/lookup", func(q bool) (*experiments.Table, error) {
+		if q {
+			return experiments.T5OnlineSearch(1<<13, 100)
+		}
+		return experiments.T5OnlineSearch(1<<17, 500)
+	}},
+	{"T6", "buffer tree amortised insert ≪ B-tree insert", func(q bool) (*experiments.Table, error) {
+		if q {
+			return experiments.T6BufferTreeVsBTree([]int{1 << 12})
+		}
+		return experiments.T6BufferTreeVsBTree([]int{1 << 12, 1 << 14, 1 << 16})
+	}},
+	{"T7", "external PQ ≈ Sort(N) total vs B-tree PQ Θ(N log_B N)", func(q bool) (*experiments.Table, error) {
+		if q {
+			return experiments.T7PriorityQueue([]int{1 << 12})
+		}
+		return experiments.T7PriorityQueue([]int{1 << 12, 1 << 14, 1 << 16})
+	}},
+	{"T8", "distribution sweep vs all-pairs segment intersection", func(q bool) (*experiments.Table, error) {
+		if q {
+			return experiments.T8DistributionSweep([]int{256, 512})
+		}
+		return experiments.T8DistributionSweep([]int{256, 1024, 4096})
+	}},
+	{"T9", "B-tree build: sort+bulk load ≪ repeated insertion", func(q bool) (*experiments.Table, error) {
+		if q {
+			return experiments.T9BulkLoad([]int{1 << 12})
+		}
+		return experiments.T9BulkLoad([]int{1 << 12, 1 << 14, 1 << 16})
+	}},
+	{"F4", "list ranking O(Sort(N)) vs pointer chasing Θ(N)", func(q bool) (*experiments.Table, error) {
+		if q {
+			return experiments.F4ListRanking([]int{1 << 10, 1 << 12})
+		}
+		return experiments.F4ListRanking([]int{1 << 10, 1 << 13, 1 << 15})
+	}},
+	{"F5", "external BFS O(V+Sort(E)) vs naive Θ(V+E)", func(q bool) (*experiments.Table, error) {
+		if q {
+			return experiments.F5ExternalBFS([]int{500})
+		}
+		return experiments.F5ExternalBFS([]int{500, 2000, 8000})
+	}},
+	{"F6", "paging: MIN ≤ LRU/FIFO/CLOCK; LRU pathological on loops", func(q bool) (*experiments.Table, error) {
+		if q {
+			return experiments.F6Paging(24, 16, 5)
+		}
+		return experiments.F6Paging(48, 32, 20)
+	}},
+	{"F7", "FFT: six-step O(Sort(N)) vs unblocked butterflies Θ(N·log₂N)", func(q bool) (*experiments.Table, error) {
+		if q {
+			return experiments.F7FFT([]int{1 << 8})
+		}
+		return experiments.F7FFT([]int{1 << 8, 1 << 10, 1 << 12})
+	}},
+	{"F8", "time-forward processing O(Sort(E)) vs per-arc reads Θ(E)", func(q bool) (*experiments.Table, error) {
+		if q {
+			return experiments.F8TimeForward([]int{500})
+		}
+		return experiments.F8TimeForward([]int{1000, 4000, 16000})
+	}},
+}
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "reduced parameter sweeps")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range catalogue {
+			fmt.Printf("%-4s %s\n", e.id, e.claim)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	for _, a := range flag.Args() {
+		want[strings.ToUpper(a)] = true
+	}
+	ran := 0
+	for _, e := range catalogue {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		tab, err := e.run(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "embench: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Println(tab.String())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "embench: no experiment matched %v (try -list)\n", flag.Args())
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"em"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "in.txt")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestReadRecordsParsesKeysAndValues(t *testing.T) {
+	p := writeTemp(t, "5 50\n3\n# comment\n\n  7 70  \n")
+	recs, err := readRecords(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []em.Record{{Key: 5, Val: 50}, {Key: 3, Val: 0}, {Key: 7, Val: 70}}
+	if len(recs) != len(want) {
+		t.Fatalf("got %d records", len(recs))
+	}
+	for i := range want {
+		if recs[i] != want[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, recs[i], want[i])
+		}
+	}
+}
+
+func TestReadRecordsRejectsBadInput(t *testing.T) {
+	for _, content := range []string{"abc\n", "5 xyz\n", "-3\n"} {
+		p := writeTemp(t, content)
+		if _, err := readRecords(p); err == nil {
+			t.Errorf("input %q accepted", content)
+		}
+	}
+	if _, err := readRecords(filepath.Join(t.TempDir(), "missing.txt")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestWriteRecordsRoundTrip(t *testing.T) {
+	vol := em.MustVolume(em.Config{BlockBytes: 256, MemBlocks: 8, Disks: 1})
+	pool := em.PoolFor(vol)
+	recs := []em.Record{{Key: 1, Val: 10}, {Key: 2, Val: 20}}
+	f, err := em.FromSlice(vol, pool, em.RecordCodec{}, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "out.txt")
+	if err := writeRecords(out, f, pool); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(string(data)); got != "1 10\n2 20" {
+		t.Fatalf("output = %q", got)
+	}
+	// Round trip back through the parser.
+	back, err := readRecords(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if back[i] != recs[i] {
+			t.Fatalf("round trip record %d = %+v", i, back[i])
+		}
+	}
+}
+
+func TestPredictSortShape(t *testing.T) {
+	// One in-memory run: a single read+write pass.
+	if got := predictSort(1000, 100, 64, 1); got != 2*10 {
+		t.Fatalf("in-memory prediction = %g", got)
+	}
+	// Out-of-memory: at least two passes.
+	small := predictSort(100_000, 100, 4, 1)
+	if small <= 2*1000 {
+		t.Fatalf("out-of-memory prediction %g not > one pass", small)
+	}
+	// More disks divide the cost.
+	if d2 := predictSort(100_000, 100, 4, 2); d2 >= small {
+		t.Fatalf("D=2 prediction %g not below D=1's %g", d2, small)
+	}
+}

@@ -1,0 +1,521 @@
+// Package em is the public facade of the external-memory algorithm suite.
+//
+// The library reproduces, as a working system, the algorithm catalogue of
+// the PODS 1998 survey "External Memory Algorithms": the Parallel Disk
+// Model and the classical I/O-efficient algorithms and data structures
+// built on it. Everything runs on an instrumented in-process disk model
+// (see NewVolume) that counts block transfers exactly and enforces the
+// internal-memory budget M through a frame pool, so measured I/O counts are
+// directly comparable to the survey's Θ-bounds:
+//
+//	Scan(N)   = Θ(N / (D·B))
+//	Sort(N)   = Θ(N/(D·B) · log_{M/B}(N/B))
+//	Search(N) = Θ(log_B N)
+//	Perm(N)   = Θ(min(N/D, Sort(N)))
+//
+// # Getting started
+//
+// Create a volume (the disk) and a pool (the memory budget), materialise
+// records, and run algorithms:
+//
+//	vol := em.MustVolume(em.Config{BlockBytes: 4096, MemBlocks: 64, Disks: 1})
+//	pool := em.PoolFor(vol)
+//	f, _ := em.FromSlice(vol, pool, em.RecordCodec{}, records)
+//	sorted, _ := em.SortRecords(f, pool, nil)
+//	fmt.Println(vol.Stats()) // exact block reads/writes
+//
+// The subsystems exposed here are:
+//
+//   - external sorting: MergeSort, DistributionSort, SortViaBTree (baseline)
+//   - permuting: Permute, PermuteNaive, PermuteBySorting
+//   - matrices: Matrix, Transpose, TransposeNaive, MatMul
+//   - online dictionaries: BTree (with BulkLoadBTree), HashTable
+//   - batched updates: BufferTree
+//   - priority queues: PQ
+//   - graph algorithms: Graph, BFS, BFSUndirected, ConnectedComponents
+//   - list ranking: RankList, RankListNaive
+//   - batched geometry: Intersections (distribution sweep)
+//   - paging policies: FaultsLRU, FaultsFIFO, FaultsCLOCK, FaultsMIN
+//
+// Each algorithm's doc comment states the I/O bound it meets and, where the
+// survey describes one, the naive baseline it is benchmarked against. The
+// benchmark suite in bench_test.go regenerates every experiment table; see
+// DESIGN.md and EXPERIMENTS.md.
+package em
+
+import (
+	"em/internal/btree"
+	"em/internal/buffertree"
+	"em/internal/cache"
+	"em/internal/emgraph"
+	"em/internal/emtree"
+	"em/internal/extcoll"
+	"em/internal/extsort"
+	"em/internal/fft"
+	"em/internal/geometry"
+	"em/internal/hashing"
+	"em/internal/listrank"
+	"em/internal/matrix"
+	"em/internal/pdm"
+	"em/internal/permute"
+	"em/internal/pqueue"
+	"em/internal/record"
+	"em/internal/stream"
+	"em/internal/timefwd"
+)
+
+// ---------------------------------------------------------------------------
+// Parallel Disk Model
+// ---------------------------------------------------------------------------
+
+// Config fixes the device shape of a Parallel Disk Model instance: block
+// size in bytes, memory capacity in blocks (M/B), and disk count D.
+type Config = pdm.Config
+
+// Volume is an instrumented block device striped over D simulated disks.
+// All I/O performed by the algorithms in this module flows through a Volume
+// and is counted in its Stats.
+type Volume = pdm.Volume
+
+// Pool enforces the internal-memory budget: it lends out at most M/B
+// block-sized frames and fails loudly beyond that.
+type Pool = pdm.Pool
+
+// Stats holds a volume's I/O counters: block reads, block writes, and
+// parallel I/O steps.
+type Stats = pdm.Stats
+
+// Frame is one block-sized buffer on loan from a Pool.
+type Frame = pdm.Frame
+
+// NewVolume creates an empty volume with the given configuration.
+func NewVolume(cfg Config) (*Volume, error) { return pdm.NewVolume(cfg) }
+
+// MustVolume is NewVolume for known-good configurations; it panics on error.
+func MustVolume(cfg Config) *Volume { return pdm.MustVolume(cfg) }
+
+// PoolFor creates the frame pool implied by a volume's configuration:
+// MemBlocks frames of BlockBytes bytes each.
+func PoolFor(v *Volume) *Pool { return pdm.PoolFor(v) }
+
+// NewPool creates a pool of capacity frames of blockBytes bytes each, for
+// callers that want a budget different from the volume's default.
+func NewPool(blockBytes, capacity int) *Pool { return pdm.NewPool(blockBytes, capacity) }
+
+// ---------------------------------------------------------------------------
+// Records and files
+// ---------------------------------------------------------------------------
+
+// Codec converts values of type T to and from a fixed-width binary form.
+type Codec[T any] = record.Codec[T]
+
+// Record is the workhorse 16-byte record: a uint64 key and a uint64 value.
+type Record = record.Record
+
+// RecordCodec is the Codec for Record.
+type RecordCodec = record.RecordCodec
+
+// Pair is a two-field record of int64s, used for edges, list nodes, and
+// intersection output.
+type Pair = record.Pair
+
+// PairCodec is the Codec for Pair.
+type PairCodec = record.PairCodec
+
+// Triple is a three-field record of int64s.
+type Triple = record.Triple
+
+// TripleCodec is the Codec for Triple.
+type TripleCodec = record.TripleCodec
+
+// U64Codec is the Codec for bare uint64 values.
+type U64Codec = record.U64Codec
+
+// F64Codec is the Codec for float64 values.
+type F64Codec = record.F64Codec
+
+// File is a sequence of fixed-size records packed into whole blocks on a
+// volume.
+type File[T any] = stream.File[T]
+
+// Reader iterates a File in order, block by block.
+type Reader[T any] = stream.Reader[T]
+
+// Writer appends records to a File, block by block.
+type Writer[T any] = stream.Writer[T]
+
+// NewFile creates an empty file on vol.
+func NewFile[T any](vol *Volume, codec Codec[T]) *File[T] { return stream.NewFile[T](vol, codec) }
+
+// NewReader creates a width-1 reader over f. Reading costs one block read
+// per B records.
+func NewReader[T any](f *File[T], pool *Pool) (*Reader[T], error) {
+	return stream.NewReader(f, pool)
+}
+
+// NewWriter creates a width-1 writer appending to f.
+func NewWriter[T any](f *File[T], pool *Pool) (*Writer[T], error) {
+	return stream.NewWriter(f, pool)
+}
+
+// FromSlice materialises vs as a file on vol, charging the usual write I/Os.
+func FromSlice[T any](vol *Volume, pool *Pool, codec Codec[T], vs []T) (*File[T], error) {
+	return stream.FromSlice(vol, pool, codec, vs)
+}
+
+// ToSlice reads an entire file into memory, charging the usual read I/Os.
+// Intended for small outputs and tests.
+func ToSlice[T any](f *File[T], pool *Pool) ([]T, error) { return stream.ToSlice(f, pool) }
+
+// ForEach streams every record of f through fn: Scan(N) I/Os.
+func ForEach[T any](f *File[T], pool *Pool, fn func(T) error) error {
+	return stream.ForEach(f, pool, fn)
+}
+
+// ---------------------------------------------------------------------------
+// Sorting (survey §3: fundamental batched problem)
+// ---------------------------------------------------------------------------
+
+// SortOptions tunes the external sorts: striping width, run-formation mode,
+// and a fan-in cap for experiments.
+type SortOptions = extsort.Options
+
+// RunMode selects the run-formation technique for merge sort.
+type RunMode = extsort.RunMode
+
+// Run-formation modes.
+const (
+	// LoadSort fills memory, sorts, and writes runs of exactly M records.
+	LoadSort = extsort.LoadSort
+	// ReplacementSelection streams through an M-record tournament, giving
+	// runs of expected length 2M on random input.
+	ReplacementSelection = extsort.ReplacementSelection
+)
+
+// MergeSort sorts f by less with multiway external merge sort in
+// Θ(n log_m n) I/Os, the survey's Sort(N) bound. The input is unchanged.
+func MergeSort[T any](f *File[T], pool *Pool, less func(a, b T) bool, opts *SortOptions) (*File[T], error) {
+	return extsort.MergeSort(f, pool, less, opts)
+}
+
+// DistributionSort sorts f by less with sample-based distribution sort,
+// also Θ(n log_m n) I/Os.
+func DistributionSort[T any](f *File[T], pool *Pool, less func(a, b T) bool, opts *SortOptions) (*File[T], error) {
+	return extsort.DistributionSort(f, pool, less, opts)
+}
+
+// SortRecords sorts a Record file by key with merge sort — the common case.
+func SortRecords(f *File[Record], pool *Pool, opts *SortOptions) (*File[Record], error) {
+	return extsort.MergeSort(f, pool, Record.Less, opts)
+}
+
+// SortViaBTree is the survey's strawman "online sort": insert every record
+// into a B-tree and scan the leaves, Θ(N log_B N) I/Os — worse than Sort(N)
+// by roughly a factor of B/log(M/B).
+func SortViaBTree(f *File[Record], pool *Pool, cacheFrames int) (*File[Record], error) {
+	return extsort.SortViaBTree(f, pool, cacheFrames)
+}
+
+// IsSorted reports whether f is ordered by less, in one scan.
+func IsSorted[T any](f *File[T], pool *Pool, less func(a, b T) bool) (bool, error) {
+	return extsort.IsSorted(f, pool, less)
+}
+
+// ---------------------------------------------------------------------------
+// Permuting and matrices (survey §4)
+// ---------------------------------------------------------------------------
+
+// PermuteNaive moves each record independently to its target position:
+// Θ(N) I/Os, the survey's lower-bound branch for small N.
+func PermuteNaive[T any](f *File[T], pool *Pool, perm []int64) (*File[T], error) {
+	return permute.Naive(f, pool, perm)
+}
+
+// PermuteBySorting tags each record with its destination and sorts:
+// Sort(N) I/Os, the winning branch for large N.
+func PermuteBySorting[T any](f *File[T], pool *Pool, perm []int64, opts *SortOptions) (*File[T], error) {
+	return permute.BySorting(f, pool, perm, opts)
+}
+
+// Permute applies perm to f, choosing the cheaper of the naive and
+// sort-based methods — the survey's Θ(min(N, Sort(N))) permuting bound.
+func Permute[T any](f *File[T], pool *Pool, perm []int64, opts *SortOptions) (*File[T], error) {
+	return permute.Auto(f, pool, perm, opts)
+}
+
+// BitReversalPerm returns the bit-reversal permutation of size n (a power
+// of two), the survey's canonical hard permutation (it forces Sort(N)).
+func BitReversalPerm(n int) ([]int64, error) { return permute.BitReversal(n) }
+
+// Matrix is a dense row-major matrix of float64 stored on a volume.
+type Matrix = matrix.Matrix
+
+// NewMatrix creates a zero rows×cols matrix on vol.
+func NewMatrix(vol *Volume, pool *Pool, rows, cols int) (*Matrix, error) {
+	return matrix.New(vol, pool, rows, cols)
+}
+
+// MatrixFromSlice materialises data (row-major, rows*cols long) on vol.
+func MatrixFromSlice(vol *Volume, pool *Pool, rows, cols int, data []float64) (*Matrix, error) {
+	return matrix.FromSlice(vol, pool, rows, cols, data)
+}
+
+// Transpose transposes m blockwise, O(n·log_m min(...)) ≈ Sort I/Os in the
+// general case and Θ(n) for square block-aligned shapes.
+func Transpose(m *Matrix, pool *Pool) (*Matrix, error) { return matrix.TransposeBlocked(m, pool) }
+
+// TransposeNaive walks the output in row-major order, reading one input
+// element per I/O once the matrix exceeds memory: the Θ(N) baseline.
+func TransposeNaive(m *Matrix, pool *Pool) (*Matrix, error) { return matrix.TransposeNaive(m, pool) }
+
+// MatMul multiplies a×b with the blocked sub-matrix algorithm,
+// Θ(n³/(B·√M)) ≈ Θ(N^{3/2}/(B√M)) I/Os for N = n² elements.
+func MatMul(a, b *Matrix, pool *Pool) (*Matrix, error) { return matrix.Multiply(a, b, pool) }
+
+// ---------------------------------------------------------------------------
+// Online dictionaries (survey §6: B-trees, hashing)
+// ---------------------------------------------------------------------------
+
+// BTree is an on-volume B+-tree over uint64 keys and values: Search, Insert,
+// Delete in Θ(log_B N) I/Os; Range in Θ(log_B N + Z/B).
+type BTree = btree.Tree
+
+// NewBTree creates an empty B+-tree whose node cache holds cacheFrames
+// blocks drawn from pool.
+func NewBTree(vol *Volume, pool *Pool, cacheFrames int) (*BTree, error) {
+	return btree.New(vol, pool, cacheFrames)
+}
+
+// BulkLoadBTree builds a B+-tree bottom-up from a key-sorted record file in
+// Θ(N/B) I/Os — versus Θ(N log_B N) for repeated insertion (experiment T9).
+func BulkLoadBTree(vol *Volume, pool *Pool, cacheFrames int, sorted *File[Record]) (*BTree, error) {
+	return btree.BulkLoad(vol, pool, cacheFrames, sorted)
+}
+
+// HashTable is an extendible-hashing dictionary: O(1) expected probes per
+// lookup, versus the B-tree's Θ(log_B N).
+type HashTable = hashing.Table
+
+// NewHashTable creates an empty extendible hash table.
+func NewHashTable(vol *Volume, pool *Pool, cacheFrames int) (*HashTable, error) {
+	return hashing.New(vol, pool, cacheFrames)
+}
+
+// ---------------------------------------------------------------------------
+// Batched updates and priority queues (survey §7: buffer trees)
+// ---------------------------------------------------------------------------
+
+// BufferTree is Arge's buffer tree: inserts and deletes cost amortised
+// O((1/B)·log_{M/B}(N/B)) I/Os — a factor ≈ B·log better than a B-tree's
+// per-operation bound. Seal flushes everything and returns the sorted
+// contents.
+type BufferTree = buffertree.Tree
+
+// BufferTreeConfig tunes a buffer tree's fanout and per-node buffer size.
+type BufferTreeConfig = buffertree.Config
+
+// NewBufferTree creates an empty buffer tree.
+func NewBufferTree(vol *Volume, pool *Pool, cfg BufferTreeConfig) (*BufferTree, error) {
+	return buffertree.New(vol, pool, cfg)
+}
+
+// PQ is an external-memory priority queue (merge-based): N inserts and N
+// delete-mins cost O(Sort(N)) I/Os in total.
+type PQ = pqueue.Queue
+
+// NewPQ creates an empty external priority queue.
+func NewPQ(vol *Volume, pool *Pool) (*PQ, error) { return pqueue.New(vol, pool) }
+
+// ---------------------------------------------------------------------------
+// Graphs and lists (survey §8)
+// ---------------------------------------------------------------------------
+
+// Graph is a static graph stored as a sorted adjacency file on a volume.
+type Graph = emgraph.Graph
+
+// BuildGraph builds a directed graph on v vertices from an arc file.
+func BuildGraph(vol *Volume, pool *Pool, v int64, arcs *File[Pair]) (*Graph, error) {
+	return emgraph.Build(vol, pool, v, arcs)
+}
+
+// BuildUndirectedGraph builds an undirected graph (each edge stored both
+// ways) on v vertices from an edge file.
+func BuildUndirectedGraph(vol *Volume, pool *Pool, v int64, edges *File[Pair]) (*Graph, error) {
+	return emgraph.BuildUndirected(vol, pool, v, edges)
+}
+
+// BFS runs external breadth-first search from src on a (possibly directed)
+// graph, returning (vertex, level) pairs sorted by vertex.
+func BFS(g *Graph, pool *Pool, src int64) (*File[Pair], error) {
+	return emgraph.BFS(g, pool, src)
+}
+
+// BFSUndirected is the Munagala–Ranade external BFS exactly as the survey
+// states it — O(V + Sort(E)) I/Os — valid on undirected graphs only.
+func BFSUndirected(g *Graph, pool *Pool, src int64) (*File[Pair], error) {
+	return emgraph.BFSUndirected(g, pool, src)
+}
+
+// NaiveBFS is the baseline: textbook BFS probing an on-disk visited bitmap
+// once per arc, Θ(V + E) I/Os.
+func NaiveBFS(g *Graph, pool *Pool, src int64) (*File[Pair], error) {
+	return emgraph.NaiveBFS(g, pool, src)
+}
+
+// ConnectedComponents labels every vertex of an undirected graph with the
+// smallest vertex id in its component.
+func ConnectedComponents(g *Graph, pool *Pool) (*File[Pair], error) {
+	return emgraph.ConnectedComponents(g, pool)
+}
+
+// GridEdges generates the edges of a rows×cols grid graph, the canonical
+// large-diameter BFS workload.
+func GridEdges(vol *Volume, pool *Pool, rows, cols int) (*File[Pair], error) {
+	return emgraph.GridEdges(vol, pool, rows, cols)
+}
+
+// ListTail is the successor value marking the end of a linked list.
+const ListTail = listrank.Tail
+
+// RankList computes each node's distance from the head of an on-disk linked
+// list in O(Sort(N)) I/Os by independent-set contraction.
+func RankList(list *File[Pair], pool *Pool, head int64) (*File[Pair], error) {
+	return listrank.Rank(list, pool, head)
+}
+
+// RankListNaive chases pointers one random block read per node: Θ(N) I/Os.
+func RankListNaive(list *File[Pair], pool *Pool, head int64) (*File[Pair], error) {
+	return listrank.NaiveRank(list, pool, head)
+}
+
+// ---------------------------------------------------------------------------
+// Batched geometry (survey §5: distribution sweep)
+// ---------------------------------------------------------------------------
+
+// Segment is an axis-parallel segment for the geometry algorithms.
+type Segment = geometry.Segment
+
+// SegmentCodec is the Codec for Segment.
+type SegmentCodec = geometry.SegmentCodec
+
+// HSeg constructs a horizontal segment from (x1,y) to (x2,y).
+func HSeg(id int64, x1, x2, y float64) Segment { return geometry.Horizontal(id, x1, x2, y) }
+
+// VSeg constructs a vertical segment from (x,y1) to (x,y2).
+func VSeg(id int64, x, y1, y2 float64) Segment { return geometry.Vertical(id, x, y1, y2) }
+
+// Intersections reports all horizontal/vertical crossing pairs by
+// distribution sweep in O(Sort(N) + Z/B) I/Os.
+func Intersections(segs *File[Segment], pool *Pool) (*File[Pair], error) {
+	return geometry.Intersections(segs, pool)
+}
+
+// NaiveIntersections is the all-pairs baseline, Θ(N²/B) I/Os.
+func NaiveIntersections(segs *File[Segment], pool *Pool) (*File[Pair], error) {
+	return geometry.NaiveIntersections(segs, pool)
+}
+
+// ---------------------------------------------------------------------------
+// Elementary collections, tree computations, and the FFT
+// ---------------------------------------------------------------------------
+
+// ExtStack is an external-memory stack: amortised O(1/B) I/Os per
+// push/pop via two-block buffering.
+type ExtStack[T any] = extcoll.Stack[T]
+
+// ExtQueue is an external-memory FIFO queue: amortised O(1/B) I/Os per op.
+type ExtQueue[T any] = extcoll.Queue[T]
+
+// NewExtStack creates an empty external stack on vol.
+func NewExtStack[T any](vol *Volume, pool *Pool, codec Codec[T]) (*ExtStack[T], error) {
+	return extcoll.NewStack(vol, pool, codec)
+}
+
+// NewExtQueue creates an empty external queue on vol.
+func NewExtQueue[T any](vol *Volume, pool *Pool, codec Codec[T]) (*ExtQueue[T], error) {
+	return extcoll.NewQueue(vol, pool, codec)
+}
+
+// EulerTour is a rooted tree linearised for list-ranking computations.
+type EulerTour = emtree.Tour
+
+// BuildEulerTour linearises a rooted tree given as (parent, child) pairs in
+// O(Sort(N)) I/Os.
+func BuildEulerTour(edges *File[Pair], pool *Pool, n, root int64) (*EulerTour, error) {
+	return emtree.BuildEulerTour(edges, pool, n, root)
+}
+
+// TreeDepths computes every node's depth via the Euler-tour technique in
+// O(Sort(N)) I/Os.
+func TreeDepths(t *EulerTour, pool *Pool) (*File[Pair], error) {
+	return emtree.Depths(t, pool)
+}
+
+// TreeSubtreeSizes computes every node's subtree size via the Euler-tour
+// technique in O(Sort(N)) I/Os.
+func TreeSubtreeSizes(t *EulerTour, pool *Pool) (*File[Pair], error) {
+	return emtree.SubtreeSizes(t, pool)
+}
+
+// RankListWeighted ranks a weighted on-disk linked list — rank(x) is the
+// sum of edge weights from head — in O(Sort(N)) I/Os.
+func RankListWeighted(list *File[Triple], pool *Pool, head int64) (*File[Pair], error) {
+	return listrank.RankWeighted(list, pool, head)
+}
+
+// Combine computes a DAG vertex's value from its in-neighbours' values
+// (given in ascending order) for time-forward processing.
+type Combine = timefwd.Combine
+
+// TimeForwardEval evaluates a topologically-numbered DAG stored on disk by
+// time-forward processing — values travel to their consumers through an
+// external priority queue — in O(Sort(E)) I/Os.
+func TimeForwardEval(vol *Volume, pool *Pool, v int64, arcs *File[Pair], fn Combine) (*File[Pair], error) {
+	return timefwd.Eval(vol, pool, v, arcs, fn)
+}
+
+// TimeForwardEvalNaive is the baseline that reads each predecessor's value
+// with a random block I/O per arc: Θ(E) I/Os.
+func TimeForwardEvalNaive(vol *Volume, pool *Pool, v int64, arcs *File[Pair], fn Combine) (*File[Pair], error) {
+	return timefwd.EvalNaive(vol, pool, v, arcs, fn)
+}
+
+// Complex is a complex sample for the external FFT.
+type Complex = fft.Complex
+
+// ComplexCodec is the Codec for Complex.
+type ComplexCodec = fft.ComplexCodec
+
+// FFT computes the forward DFT of a power-of-two-length file with the
+// six-step external algorithm: O(Sort(N)) I/Os (requires √N ≤ M).
+func FFT(f *File[Complex], pool *Pool) (*File[Complex], error) {
+	return fft.Forward(f, pool)
+}
+
+// InverseFFT computes the scaled inverse DFT, so InverseFFT(FFT(x)) = x.
+func InverseFFT(f *File[Complex], pool *Pool) (*File[Complex], error) {
+	return fft.Inverse(f, pool)
+}
+
+// FFTNaiveStages is the unblocked butterfly baseline, Θ(N·log₂N) I/Os.
+func FFTNaiveStages(f *File[Complex], pool *Pool) (*File[Complex], error) {
+	return fft.NaiveStages(f, pool, -1)
+}
+
+// ---------------------------------------------------------------------------
+// Paging (survey §2.2: memory hierarchy management)
+// ---------------------------------------------------------------------------
+
+// FaultsLRU counts page faults of least-recently-used eviction on a
+// reference string with the given frame count.
+func FaultsLRU(refs []int64, frames int) int { return cache.FaultsLRU(refs, frames) }
+
+// FaultsFIFO counts page faults of first-in-first-out eviction.
+func FaultsFIFO(refs []int64, frames int) int { return cache.FaultsFIFO(refs, frames) }
+
+// FaultsCLOCK counts page faults of the CLOCK (second-chance) policy.
+func FaultsCLOCK(refs []int64, frames int) int { return cache.FaultsCLOCK(refs, frames) }
+
+// FaultsMIN counts page faults of Belady's optimal offline policy, the
+// lower bound every online policy is compared against.
+func FaultsMIN(refs []int64, frames int) int { return cache.FaultsMIN(refs, frames) }

@@ -1,0 +1,162 @@
+package em_test
+
+// Facade tests for the extension subsystems: external stack/queue, Euler
+// tours, weighted list ranking, and the external FFT.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"em"
+)
+
+func TestFacadeExtStackAndQueue(t *testing.T) {
+	vol, pool := env(t, 256, 8, 1)
+	s, err := em.NewExtStack(vol, pool, em.U64Codec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := em.NewExtQueue(vol, pool, em.U64Codec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000
+	vol.Stats().Reset()
+	for i := uint64(0); i < n; i++ {
+		if err := s.Push(i); err != nil {
+			t.Fatal(err)
+		}
+		if err := q.Push(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		sv, ok, err := s.Pop()
+		if err != nil || !ok || sv != n-1-i {
+			t.Fatalf("stack pop %d = %d,%v,%v", i, sv, ok, err)
+		}
+		qv, ok, err := q.Pop()
+		if err != nil || !ok || qv != i {
+			t.Fatalf("queue pop %d = %d,%v,%v", i, qv, ok, err)
+		}
+	}
+	// Amortised O(1/B): 4n operations on 32-record blocks must cost far
+	// fewer than n I/Os.
+	if got := vol.Stats().Total(); got > n {
+		t.Fatalf("collections used %d I/Os for %d ops", got, 4*n)
+	}
+	s.Close()
+	q.Close()
+}
+
+func TestFacadeEulerTour(t *testing.T) {
+	vol, pool := env(t, 256, 12, 1)
+	// Balanced binary tree on 15 nodes: parent(v) = (v-1)/2.
+	var pairs []em.Pair
+	for v := int64(1); v < 15; v++ {
+		pairs = append(pairs, em.Pair{A: (v - 1) / 2, B: v})
+	}
+	ef, err := em.FromSlice(vol, pool, em.PairCodec{}, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tour, err := em.BuildEulerTour(ef, pool, 15, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tour.Release()
+	depths, err := em.TreeDepths(tour, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int64]int64{}
+	if err := em.ForEach(depths, pool, func(p em.Pair) error {
+		got[p.A] = p.B
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for v := int64(0); v < 15; v++ {
+		want := int64(math.Floor(math.Log2(float64(v + 1))))
+		if got[v] != want {
+			t.Fatalf("depth(%d) = %d, want %d", v, got[v], want)
+		}
+	}
+	sizes, err := em.TreeSubtreeSizes(tour, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sz := map[int64]int64{}
+	if err := em.ForEach(sizes, pool, func(p em.Pair) error {
+		sz[p.A] = p.B
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sz[0] != 15 || sz[1] != 7 || sz[3] != 3 || sz[7] != 1 {
+		t.Fatalf("sizes wrong: root=%d, 1=%d, 3=%d, leaf=%d", sz[0], sz[1], sz[3], sz[7])
+	}
+}
+
+func TestFacadeWeightedRank(t *testing.T) {
+	vol, pool := env(t, 256, 12, 1)
+	// List 0 -> 1 -> 2 with weights 5 then 7.
+	list := []em.Triple{
+		{A: 0, B: 1, C: 5},
+		{A: 1, B: 2, C: 7},
+		{A: 2, B: em.ListTail, C: 0},
+	}
+	lf, err := em.FromSlice(vol, pool, em.TripleCodec{}, list)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks, err := em.RankListWeighted(lf, pool, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := em.ToSlice(ranks, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int64]int64{0: 0, 1: 5, 2: 12}
+	for _, p := range got {
+		if want[p.A] != p.B {
+			t.Fatalf("rank(%d) = %d, want %d", p.A, p.B, want[p.A])
+		}
+	}
+}
+
+func TestFacadeFFT(t *testing.T) {
+	vol, pool := env(t, 256, 16, 1)
+	rng := rand.New(rand.NewSource(21))
+	n := 1 << 9
+	x := make([]em.Complex, n)
+	for i := range x {
+		x[i] = em.Complex{Re: rng.NormFloat64(), Im: rng.NormFloat64()}
+	}
+	f, err := em.FromSlice(vol, pool, em.ComplexCodec{}, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := em.FFT(f, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := em.InverseFFT(spec, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := em.ToSlice(back, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(got[i].Re-x[i].Re) > 1e-9 || math.Abs(got[i].Im-x[i].Im) > 1e-9 {
+			t.Fatalf("round trip diverged at %d: %v vs %v", i, got[i], x[i])
+		}
+	}
+	if pool.InUse() != 0 {
+		t.Fatalf("leaked %d frames", pool.InUse())
+	}
+}

@@ -1,0 +1,302 @@
+package em_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"em"
+)
+
+func env(t testing.TB, blockBytes, memBlocks, disks int) (*em.Volume, *em.Pool) {
+	t.Helper()
+	vol := em.MustVolume(em.Config{BlockBytes: blockBytes, MemBlocks: memBlocks, Disks: disks})
+	return vol, em.PoolFor(vol)
+}
+
+func randomRecords(rng *rand.Rand, n int) []em.Record {
+	rs := make([]em.Record, n)
+	for i := range rs {
+		rs[i] = em.Record{Key: rng.Uint64(), Val: uint64(i)}
+	}
+	return rs
+}
+
+// TestFacadeSortPipeline runs the quickstart flow end to end through the
+// public API: materialise, sort, verify, count I/Os.
+func TestFacadeSortPipeline(t *testing.T) {
+	vol, pool := env(t, 512, 16, 1)
+	rng := rand.New(rand.NewSource(1))
+	recs := randomRecords(rng, 5000)
+	f, err := em.FromSlice(vol, pool, em.RecordCodec{}, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol.Stats().Reset()
+	sorted, err := em.SortRecords(f, pool, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := em.IsSorted(sorted, pool, em.Record.Less)
+	if err != nil || !ok {
+		t.Fatalf("not sorted (err=%v)", err)
+	}
+	if sorted.Len() != int64(len(recs)) {
+		t.Fatalf("length changed: %d != %d", sorted.Len(), len(recs))
+	}
+	if vol.Stats().Total() == 0 {
+		t.Fatal("sort performed no counted I/O")
+	}
+	if pool.InUse() != 0 {
+		t.Fatalf("frame leak: %d", pool.InUse())
+	}
+}
+
+// TestFacadeDictionaries exercises BTree, HashTable and BulkLoad through the
+// facade.
+func TestFacadeDictionaries(t *testing.T) {
+	vol, pool := env(t, 512, 32, 1)
+	bt, err := em.NewBTree(vol, pool, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ht, err := em.NewHashTable(vol, pool, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 500; k++ {
+		if _, err := bt.Insert(k*7, k); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ht.Insert(k*7, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := uint64(0); k < 500; k++ {
+		v, found, err := bt.Get(k * 7)
+		if err != nil || !found || v != k {
+			t.Fatalf("btree get(%d) = %d,%v,%v", k*7, v, found, err)
+		}
+		v, found, err = ht.Get(k * 7)
+		if err != nil || !found || v != k {
+			t.Fatalf("hash get(%d) = %d,%v,%v", k*7, v, found, err)
+		}
+	}
+	if _, found, _ := bt.Get(3); found {
+		t.Fatal("btree found absent key")
+	}
+	if err := bt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ht.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFacadeBufferTreeAndPQ checks the batched structures round-trip.
+func TestFacadeBufferTreeAndPQ(t *testing.T) {
+	vol, pool := env(t, 512, 32, 1)
+	btc, err := em.NewBufferTree(vol, pool, em.BufferTreeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	const n = 2000
+	// Distinct keys: the buffer tree is a dictionary, so a repeated key
+	// would overwrite (the latest operation per key wins at Seal).
+	for _, k := range rng.Perm(n) {
+		if err := btc.Insert(uint64(k), uint64(k)*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := btc.Seal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != n {
+		t.Fatalf("sealed %d records, want %d", out.Len(), n)
+	}
+	ok, err := em.IsSorted(out, pool, em.Record.Less)
+	if err != nil || !ok {
+		t.Fatalf("buffer tree output unsorted (err=%v)", err)
+	}
+
+	pq, err := em.NewPQ(vol, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if err := pq.Push(rng.Uint64()%500, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var last uint64
+	for i := 0; i < 1000; i++ {
+		k, _, ok, err := pq.PopMin()
+		if err != nil || !ok {
+			t.Fatalf("popmin %d: ok=%v err=%v", i, ok, err)
+		}
+		if k < last {
+			t.Fatalf("heap order violated: %d after %d", k, last)
+		}
+		last = k
+	}
+	if _, _, ok, _ := pq.PopMin(); ok {
+		t.Fatal("popmin on empty queue returned a value")
+	}
+	if err := pq.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFacadeGraphAndList exercises graph building, BFS and list ranking.
+func TestFacadeGraphAndList(t *testing.T) {
+	vol, pool := env(t, 512, 16, 1)
+	edges, err := em.GridEdges(vol, pool, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := em.BuildUndirectedGraph(vol, pool, 25, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv, err := em.BFSUndirected(g, pool, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels, err := em.ToSlice(lv, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 25 {
+		t.Fatalf("BFS visited %d of 25", len(levels))
+	}
+	// Corner-to-corner distance on a 5x5 grid is 8.
+	for _, p := range levels {
+		if p.A == 24 && p.B != 8 {
+			t.Fatalf("level(24) = %d, want 8", p.B)
+		}
+	}
+
+	// A 100-node list 0 -> 1 -> ... -> 99.
+	nodes := make([]em.Pair, 100)
+	for i := range nodes {
+		succ := int64(i + 1)
+		if i == 99 {
+			succ = em.ListTail
+		}
+		nodes[i] = em.Pair{A: int64(i), B: succ}
+	}
+	lf, err := em.FromSlice(vol, pool, em.PairCodec{}, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks, err := em.RankList(lf, pool, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := em.ToSlice(ranks, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range rs {
+		if p.A != p.B {
+			t.Fatalf("rank(%d) = %d", p.A, p.B)
+		}
+	}
+}
+
+// TestFacadeGeometryAndPaging exercises the sweep and the paging policies.
+func TestFacadeGeometryAndPaging(t *testing.T) {
+	vol, pool := env(t, 512, 16, 1)
+	segs := []em.Segment{
+		em.HSeg(0, 0, 10, 5),
+		em.VSeg(1, 5, 0, 10),
+		em.VSeg(2, 50, 0, 10),
+	}
+	f, err := em.FromSlice(vol, pool, em.SegmentCodec{}, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := em.Intersections(f, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := em.ToSlice(out, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 || pairs[0] != (em.Pair{A: 0, B: 1}) {
+		t.Fatalf("intersections = %v", pairs)
+	}
+
+	// MIN dominates LRU dominates (or equals) pathological FIFO on loops.
+	refs := make([]int64, 0, 300)
+	for pass := 0; pass < 10; pass++ {
+		for p := int64(0); p < 30; p++ {
+			refs = append(refs, p)
+		}
+	}
+	min := em.FaultsMIN(refs, 10)
+	lru := em.FaultsLRU(refs, 10)
+	if min > lru {
+		t.Fatalf("MIN (%d) worse than LRU (%d)", min, lru)
+	}
+}
+
+// TestFacadePermuteAndMatrix exercises permuting and matrix transpose.
+func TestFacadePermuteAndMatrix(t *testing.T) {
+	vol, pool := env(t, 512, 16, 1)
+	n := 1 << 10
+	recs := make([]uint64, n)
+	for i := range recs {
+		recs[i] = uint64(i)
+	}
+	f, err := em.FromSlice(vol, pool, em.U64Codec{}, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm, err := em.BitReversalPerm(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := em.Permute(f, pool, perm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := em.ToSlice(pf, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if int(perm[v]) != i {
+			t.Fatalf("perm mismatch at %d: record %d", i, v)
+		}
+	}
+
+	m, err := em.MatrixFromSlice(vol, pool, 8, 16, seq(8*16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt, err := em.Transpose(m, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.Rows() != 16 || mt.Cols() != 8 {
+		t.Fatalf("transpose shape %dx%d", mt.Rows(), mt.Cols())
+	}
+	v, err := mt.At(pool, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != float64(2*16+3) {
+		t.Fatalf("At(3,2) = %g", v)
+	}
+}
+
+func seq(n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = float64(i)
+	}
+	return s
+}

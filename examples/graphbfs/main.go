@@ -1,0 +1,84 @@
+// Graphbfs: single-source shortest hop counts over a road-grid graph that
+// lives on disk — the GIS workload the survey's graph section targets.
+// Compares the external Munagala–Ranade BFS, O(V + Sort(E)) I/Os, with the
+// naive visited-bitmap BFS, Θ(V + E) I/Os, and prints the reached levels.
+//
+// Run with:
+//
+//	go run ./examples/graphbfs
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"em"
+)
+
+const (
+	rows, cols = 120, 120 // 14,400 intersections
+	blockBytes = 2048
+	memBlocks  = 24
+)
+
+func main() {
+	vol := em.MustVolume(em.Config{BlockBytes: blockBytes, MemBlocks: memBlocks, Disks: 1})
+	pool := em.PoolFor(vol)
+
+	edges, err := em.GridEdges(vol, pool, rows, cols)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v := int64(rows * cols)
+	g, err := em.BuildUndirectedGraph(vol, pool, v, edges)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("road grid: %d vertices, %d arcs, stored in %d-byte blocks\n",
+		g.V(), g.E(), blockBytes)
+
+	vol.Stats().Reset()
+	mr, err := em.BFSUndirected(g, pool, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mrIOs := vol.Stats().Total()
+
+	vol.Stats().Reset()
+	naive, err := em.NaiveBFS(g, pool, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	naiveIOs := vol.Stats().Total()
+
+	// Verify the two traversals agree and report the level histogram shape.
+	levels := map[int64]int64{}
+	if err := em.ForEach(mr, pool, func(p em.Pair) error {
+		levels[p.A] = p.B
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	mismatch := 0
+	if err := em.ForEach(naive, pool, func(p em.Pair) error {
+		if levels[p.A] != p.B {
+			mismatch++
+		}
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if mismatch != 0 || int64(len(levels)) != v {
+		log.Fatalf("traversals disagree: %d mismatches, %d visited", mismatch, len(levels))
+	}
+
+	far := levels[v-1] // opposite corner: Manhattan distance
+	fmt.Printf("reached all %d vertices; opposite corner is %d hops away (expect %d)\n",
+		len(levels), far, rows+cols-2)
+	fmt.Printf("external BFS: %8d I/Os\n", mrIOs)
+	fmt.Printf("naive BFS:    %8d I/Os (%.1fx more)\n",
+		naiveIOs, float64(naiveIOs)/float64(mrIOs))
+	fmt.Println("\nNote: a grid has diameter Θ(√V), the hard case the survey flags for")
+	fmt.Println("level-synchronized BFS — the win here comes from batching the per-level")
+	fmt.Println("neighbour fetches; on low-diameter graphs the gap widens further.")
+}

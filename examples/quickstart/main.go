@@ -1,0 +1,66 @@
+// Quickstart: sort a dataset that is 64x larger than memory and watch the
+// I/O ledger match the survey's Sort(N) formula.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"em"
+)
+
+func main() {
+	// Device shape: 4 KiB blocks (256 records each), 32 blocks of memory
+	// (8192 records), one disk. N = 64·M, so this cannot be sorted in RAM.
+	const (
+		blockBytes = 4096
+		memBlocks  = 32
+		n          = 64 * memBlocks * (blockBytes / 16)
+	)
+	vol := em.MustVolume(em.Config{BlockBytes: blockBytes, MemBlocks: memBlocks, Disks: 1})
+	pool := em.PoolFor(vol)
+
+	// Materialise N random records on the simulated disk.
+	rng := rand.New(rand.NewSource(1))
+	recs := make([]em.Record, n)
+	for i := range recs {
+		recs[i] = em.Record{Key: rng.Uint64(), Val: uint64(i)}
+	}
+	f, err := em.FromSlice(vol, pool, em.RecordCodec{}, recs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d records in %d blocks; memory holds %d blocks\n",
+		f.Len(), f.Blocks(), pool.Capacity())
+
+	// Sort and count every block transfer.
+	vol.Stats().Reset()
+	sorted, err := em.SortRecords(f, pool, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := vol.Stats().Snapshot()
+
+	ok, err := em.IsSorted(sorted, pool, em.Record.Less)
+	if err != nil || !ok {
+		log.Fatalf("output unsorted (err=%v)", err)
+	}
+
+	// Compare with Sort(N) = 2·(N/B)·(1 + ceil(log_{M/B}(N/M))).
+	perBlock := float64(blockBytes / 16)
+	blocks := float64(n) / perBlock
+	passes := 1 + math.Ceil(math.Log(float64(n)/float64(memBlocks)/perBlock)/math.Log(float64(memBlocks-1)))
+	pred := 2 * blocks * passes
+
+	fmt.Printf("merge sort I/O: %d block transfers (%d reads, %d writes)\n",
+		st.Total(), st.Reads, st.Writes)
+	fmt.Printf("Sort(N) formula: ~%.0f transfers (%g passes over %g blocks)\n",
+		pred, passes, blocks)
+	fmt.Printf("measured/predicted = %.3f\n", float64(st.Total())/pred)
+}

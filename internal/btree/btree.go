@@ -1,0 +1,411 @@
+// Package btree implements an external-memory B+-tree, the survey's
+// canonical online search structure: Θ(log_B N) I/Os per point operation,
+// Θ(log_B N + Z/B) per range query, and Θ(Sort(N)) for bottom-up bulk
+// loading from a sorted stream.
+//
+// Keys and values are uint64; the key space is treated as a map (Insert
+// overwrites). Nodes occupy exactly one block. Blocks move through a small
+// pinning cache so that repeated root/branch accesses hit memory, exactly as
+// a database buffer manager would serve them.
+package btree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"em/internal/cache"
+	"em/internal/pdm"
+)
+
+// ErrBlockTooSmall reports a block size too small to host a B-tree node.
+var ErrBlockTooSmall = errors.New("btree: block too small for a node")
+
+// Node layout (little-endian):
+//
+//	off 0  uint16  flags (bit 0 set = leaf)
+//	off 2  uint16  count
+//	off 4  uint32  reserved
+//	off 8  int64   next-leaf address (leaves) / unused (internal)
+//	off 16 payload:
+//	  leaf:     count × (key uint64, val uint64) pairs, 16 bytes each
+//	  internal: keys at 16+8i (maxKeys slots), children at keyEnd+8j
+//	            (maxKeys+1 slots)
+const (
+	offFlags = 0
+	offCount = 2
+	offNext  = 8
+	offData  = 16
+
+	flagLeaf = 1
+)
+
+// Tree is an external B+-tree over (uint64 key → uint64 value).
+type Tree struct {
+	vol     *pdm.Volume
+	cache   *cache.Cache
+	root    int64
+	height  int // 1 = root is a leaf
+	n       int64
+	leafCap int
+	keyCap  int // max keys in an internal node
+}
+
+// New creates an empty tree whose node blocks live on vol and whose working
+// pages are served by a cache of cacheFrames pages drawn from pool.
+func New(vol *pdm.Volume, pool *pdm.Pool, cacheFrames int) (*Tree, error) {
+	bb := vol.BlockBytes()
+	// One spare slot per node absorbs the transient overflow between insert
+	// and split, so capacities are one below what the block could hold.
+	leafCap := (bb-offData)/16 - 1
+	keyCap := (bb - offData - 24) / 16 // fits keyCap+1 keys and keyCap+2 children
+	if leafCap < 2 || keyCap < 2 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrBlockTooSmall, bb)
+	}
+	// Splits pin a parent, a child, and the new sibling simultaneously, so
+	// the buffer manager needs at least three frames.
+	if cacheFrames < 3 {
+		return nil, fmt.Errorf("btree: cache needs >= 3 frames, got %d", cacheFrames)
+	}
+	c, err := cache.New(vol, pool, cacheFrames)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{vol: vol, cache: c, leafCap: leafCap, keyCap: keyCap, height: 1}
+	root, err := t.newNode(true)
+	if err != nil {
+		return nil, err
+	}
+	t.root = root.Addr()
+	c.Unpin(root)
+	return t, nil
+}
+
+// Close flushes and releases the tree's cache.
+func (t *Tree) Close() error { return t.cache.Close() }
+
+// Len returns the number of keys stored.
+func (t *Tree) Len() int64 { return t.n }
+
+// Height returns the number of levels (1 = the root is a leaf).
+func (t *Tree) Height() int { return t.height }
+
+// LeafCapacity returns the records per leaf (the model's B for this tree).
+func (t *Tree) LeafCapacity() int { return t.leafCap }
+
+// Fanout returns the maximum internal fanout.
+func (t *Tree) Fanout() int { return t.keyCap + 1 }
+
+// CacheStats exposes the buffer-manager counters.
+func (t *Tree) CacheStats() cache.CacheStats { return t.cache.Stats() }
+
+// --- node accessors -------------------------------------------------------
+
+func isLeaf(p *cache.Page) bool { return binary.LittleEndian.Uint16(p.Buf[offFlags:])&flagLeaf != 0 }
+func count(p *cache.Page) int   { return int(binary.LittleEndian.Uint16(p.Buf[offCount:])) }
+func setCount(p *cache.Page, n int) {
+	binary.LittleEndian.PutUint16(p.Buf[offCount:], uint16(n))
+	p.MarkDirty()
+}
+func nextLeaf(p *cache.Page) int64 { return int64(binary.LittleEndian.Uint64(p.Buf[offNext:])) }
+func setNextLeaf(p *cache.Page, a int64) {
+	binary.LittleEndian.PutUint64(p.Buf[offNext:], uint64(a))
+	p.MarkDirty()
+}
+
+func leafKey(p *cache.Page, i int) uint64 {
+	return binary.LittleEndian.Uint64(p.Buf[offData+16*i:])
+}
+func leafVal(p *cache.Page, i int) uint64 {
+	return binary.LittleEndian.Uint64(p.Buf[offData+16*i+8:])
+}
+func setLeafKV(p *cache.Page, i int, k, v uint64) {
+	binary.LittleEndian.PutUint64(p.Buf[offData+16*i:], k)
+	binary.LittleEndian.PutUint64(p.Buf[offData+16*i+8:], v)
+	p.MarkDirty()
+}
+
+func (t *Tree) childBase() int { return offData + 8*(t.keyCap+1) }
+
+func intKey(p *cache.Page, i int) uint64 {
+	return binary.LittleEndian.Uint64(p.Buf[offData+8*i:])
+}
+func setIntKey(p *cache.Page, i int, k uint64) {
+	binary.LittleEndian.PutUint64(p.Buf[offData+8*i:], k)
+	p.MarkDirty()
+}
+func (t *Tree) child(p *cache.Page, i int) int64 {
+	return int64(binary.LittleEndian.Uint64(p.Buf[t.childBase()+8*i:]))
+}
+func (t *Tree) setChild(p *cache.Page, i int, a int64) {
+	binary.LittleEndian.PutUint64(p.Buf[t.childBase()+8*i:], uint64(a))
+	p.MarkDirty()
+}
+
+// newNode allocates and pins a fresh zeroed node page.
+func (t *Tree) newNode(leaf bool) (*cache.Page, error) {
+	addr := t.vol.Alloc(1)
+	p, err := t.cache.GetNew(addr)
+	if err != nil {
+		return nil, err
+	}
+	var flags uint16
+	if leaf {
+		flags = flagLeaf
+	}
+	binary.LittleEndian.PutUint16(p.Buf[offFlags:], flags)
+	binary.LittleEndian.PutUint16(p.Buf[offCount:], 0)
+	binary.LittleEndian.PutUint64(p.Buf[offNext:], ^uint64(0)) // -1: no sibling
+	p.MarkDirty()
+	return p, nil
+}
+
+// searchLeafSlot returns the index of the first leaf key >= k.
+func searchLeafSlot(p *cache.Page, k uint64) int {
+	lo, hi := 0, count(p)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if leafKey(p, mid) < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// searchChildSlot returns the child index to descend into for key k: the
+// number of separator keys <= k.
+func searchChildSlot(p *cache.Page, k uint64) int {
+	lo, hi := 0, count(p)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if intKey(p, mid) <= k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Get returns the value stored under key.
+func (t *Tree) Get(key uint64) (uint64, bool, error) {
+	addr := t.root
+	for level := t.height; level > 1; level-- {
+		p, err := t.cache.Get(addr)
+		if err != nil {
+			return 0, false, err
+		}
+		addr = t.child(p, searchChildSlot(p, key))
+		t.cache.Unpin(p)
+	}
+	p, err := t.cache.Get(addr)
+	if err != nil {
+		return 0, false, err
+	}
+	defer t.cache.Unpin(p)
+	i := searchLeafSlot(p, key)
+	if i < count(p) && leafKey(p, i) == key {
+		return leafVal(p, i), true, nil
+	}
+	return 0, false, nil
+}
+
+// Insert stores value under key, overwriting any previous value. It returns
+// true if the key was new.
+func (t *Tree) Insert(key, val uint64) (bool, error) {
+	promoKey, promoAddr, added, err := t.insertAt(t.root, t.height, key, val)
+	if err != nil {
+		return false, err
+	}
+	if promoAddr >= 0 {
+		// Root split: grow the tree by one level.
+		newRoot, err := t.newNode(false)
+		if err != nil {
+			return false, err
+		}
+		setCount(newRoot, 1)
+		setIntKey(newRoot, 0, promoKey)
+		t.setChild(newRoot, 0, t.root)
+		t.setChild(newRoot, 1, promoAddr)
+		t.root = newRoot.Addr()
+		t.height++
+		t.cache.Unpin(newRoot)
+	}
+	if added {
+		t.n++
+	}
+	return added, nil
+}
+
+// insertAt inserts into the subtree rooted at addr (at the given level,
+// 1 = leaf). On split it returns the promoted separator key and the new
+// right sibling's address; promoAddr is -1 when no split occurred.
+//
+// Only O(1) pages are pinned at any moment: the parent is unpinned during
+// the recursive descent and re-pinned only if the child split. This keeps
+// the tree usable with a three-frame buffer manager, at the cost of an
+// occasional extra read when the parent was evicted mid-descent — exactly
+// the trade a real buffer manager makes.
+func (t *Tree) insertAt(addr int64, level int, key, val uint64) (promoKey uint64, promoAddr int64, added bool, err error) {
+	p, err := t.cache.Get(addr)
+	if err != nil {
+		return 0, -1, false, err
+	}
+
+	if level == 1 {
+		defer t.cache.Unpin(p)
+		i := searchLeafSlot(p, key)
+		n := count(p)
+		if i < n && leafKey(p, i) == key {
+			setLeafKV(p, i, key, val)
+			return 0, -1, false, nil
+		}
+		// Shift right and insert; the layout reserves one spare slot for
+		// this transient overflow.
+		for j := n; j > i; j-- {
+			setLeafKV(p, j, leafKey(p, j-1), leafVal(p, j-1))
+		}
+		setLeafKV(p, i, key, val)
+		setCount(p, n+1)
+		if n+1 <= t.leafCap {
+			return 0, -1, true, nil
+		}
+		return t.splitLeaf(p)
+	}
+
+	slot := searchChildSlot(p, key)
+	childAddr := t.child(p, slot)
+	t.cache.Unpin(p)
+	ck, ca, added, err := t.insertAt(childAddr, level-1, key, val)
+	if err != nil {
+		return 0, -1, false, err
+	}
+	if ca < 0 {
+		return 0, -1, added, nil
+	}
+	// The child split: re-pin the parent and install the new separator.
+	p, err = t.cache.Get(addr)
+	if err != nil {
+		return 0, -1, false, err
+	}
+	defer t.cache.Unpin(p)
+	n := count(p)
+	for j := n; j > slot; j-- {
+		setIntKey(p, j, intKey(p, j-1))
+		t.setChild(p, j+1, t.child(p, j))
+	}
+	setIntKey(p, slot, ck)
+	t.setChild(p, slot+1, ca)
+	setCount(p, n+1)
+	if n+1 <= t.keyCap {
+		return 0, -1, added, nil
+	}
+	pk, pa, _, err := t.splitInternal(p)
+	return pk, pa, added, err
+}
+
+// splitLeaf moves the upper half of an over-full leaf into a new right
+// sibling, returning the first right key as separator.
+func (t *Tree) splitLeaf(p *cache.Page) (uint64, int64, bool, error) {
+	n := count(p)
+	right, err := t.newNode(true)
+	if err != nil {
+		return 0, -1, false, err
+	}
+	defer t.cache.Unpin(right)
+	mid := n / 2
+	for j := mid; j < n; j++ {
+		setLeafKV(right, j-mid, leafKey(p, j), leafVal(p, j))
+	}
+	setCount(right, n-mid)
+	setCount(p, mid)
+	setNextLeaf(right, nextLeaf(p))
+	setNextLeaf(p, right.Addr())
+	return leafKey(right, 0), right.Addr(), true, nil
+}
+
+// splitInternal moves the upper half of an over-full internal node into a
+// new right sibling, promoting the middle key.
+func (t *Tree) splitInternal(p *cache.Page) (uint64, int64, bool, error) {
+	n := count(p)
+	right, err := t.newNode(false)
+	if err != nil {
+		return 0, -1, false, err
+	}
+	defer t.cache.Unpin(right)
+	mid := n / 2
+	promo := intKey(p, mid)
+	for j := mid + 1; j < n; j++ {
+		setIntKey(right, j-mid-1, intKey(p, j))
+	}
+	for j := mid + 1; j <= n; j++ {
+		t.setChild(right, j-mid-1, t.child(p, j))
+	}
+	setCount(right, n-mid-1)
+	setCount(p, mid)
+	return promo, right.Addr(), true, nil
+}
+
+// Range calls fn for every (key, value) with lo <= key <= hi, in key order.
+// It descends once and then follows leaf sibling links: Θ(log_B N + Z/B)
+// I/Os for Z reported records.
+func (t *Tree) Range(lo, hi uint64, fn func(k, v uint64) error) error {
+	addr := t.root
+	for level := t.height; level > 1; level-- {
+		p, err := t.cache.Get(addr)
+		if err != nil {
+			return err
+		}
+		addr = t.child(p, searchChildSlot(p, lo))
+		t.cache.Unpin(p)
+	}
+	for addr >= 0 {
+		p, err := t.cache.Get(addr)
+		if err != nil {
+			return err
+		}
+		n := count(p)
+		for i := searchLeafSlot(p, lo); i < n; i++ {
+			k := leafKey(p, i)
+			if k > hi {
+				t.cache.Unpin(p)
+				return nil
+			}
+			if err := fn(k, leafVal(p, i)); err != nil {
+				t.cache.Unpin(p)
+				return err
+			}
+		}
+		next := nextLeaf(p)
+		t.cache.Unpin(p)
+		addr = next
+	}
+	return nil
+}
+
+// Min returns the smallest key and its value.
+func (t *Tree) Min() (uint64, uint64, bool, error) {
+	if t.n == 0 {
+		return 0, 0, false, nil
+	}
+	addr := t.root
+	for level := t.height; level > 1; level-- {
+		p, err := t.cache.Get(addr)
+		if err != nil {
+			return 0, 0, false, err
+		}
+		addr = t.child(p, 0)
+		t.cache.Unpin(p)
+	}
+	p, err := t.cache.Get(addr)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	defer t.cache.Unpin(p)
+	if count(p) == 0 {
+		return 0, 0, false, nil
+	}
+	return leafKey(p, 0), leafVal(p, 0), true, nil
+}

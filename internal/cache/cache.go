@@ -1,0 +1,215 @@
+// Package cache provides a pinning, write-back block cache over a pdm.Volume
+// together with offline paging-policy simulators (LRU, FIFO, CLOCK, and
+// Belady's MIN) for the survey's caching and prefetching discussion.
+//
+// The live Cache is the buffer manager used by the online index structures
+// (B-tree, extendible hashing): it keeps hot blocks pinned in pool frames,
+// evicts with LRU among unpinned pages, and writes dirty pages back on
+// eviction or Flush. The policy simulators replay reference strings without
+// touching a volume and are the engine behind experiment F6.
+package cache
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+
+	"em/internal/pdm"
+)
+
+// ErrAllPinned reports that an eviction was required but every cached page
+// was pinned — the working set exceeds the configured frame budget.
+var ErrAllPinned = errors.New("cache: all pages pinned, cannot evict")
+
+// Page is a cached block. Callers access its contents through Buf and must
+// call MarkDirty before mutating, and Unpin when done.
+type Page struct {
+	// Buf is the block's in-memory image.
+	Buf   []byte
+	addr  int64
+	pins  int
+	dirty bool
+	frame *pdm.Frame
+	elem  *list.Element
+}
+
+// Addr returns the page's block address.
+func (p *Page) Addr() int64 { return p.addr }
+
+// MarkDirty records that the page's contents changed and must be written
+// back before the frame is reused.
+func (p *Page) MarkDirty() { p.dirty = true }
+
+// CacheStats counts cache effectiveness.
+type CacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	WriteBack uint64
+}
+
+// Cache is a fixed-capacity pinning block cache with LRU replacement.
+type Cache struct {
+	vol      *pdm.Volume
+	pool     *pdm.Pool
+	capacity int
+	pages    map[int64]*Page
+	lru      *list.List // front = most recently used; holds unpinned and pinned pages
+	stats    CacheStats
+}
+
+// New creates a cache of at most capacity pages, drawing frames from pool.
+func New(vol *pdm.Volume, pool *pdm.Pool, capacity int) (*Cache, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("cache: capacity must be >= 1, got %d", capacity)
+	}
+	return &Cache{
+		vol:      vol,
+		pool:     pool,
+		capacity: capacity,
+		pages:    make(map[int64]*Page, capacity),
+		lru:      list.New(),
+	}, nil
+}
+
+// Stats returns a copy of the hit/miss counters.
+func (c *Cache) Stats() CacheStats { return c.stats }
+
+// Len returns the number of resident pages.
+func (c *Cache) Len() int { return len(c.pages) }
+
+// Get pins block addr, reading it from the volume on a miss. Every Get must
+// be paired with an Unpin.
+func (c *Cache) Get(addr int64) (*Page, error) {
+	if p, ok := c.pages[addr]; ok {
+		c.stats.Hits++
+		p.pins++
+		c.lru.MoveToFront(p.elem)
+		return p, nil
+	}
+	c.stats.Misses++
+	p, err := c.admit(addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.vol.ReadBlock(addr, p.Buf); err != nil {
+		c.discard(p)
+		return nil, err
+	}
+	return p, nil
+}
+
+// GetNew pins block addr without reading it, for freshly allocated blocks
+// whose on-disk contents are irrelevant. The page starts zeroed and dirty.
+func (c *Cache) GetNew(addr int64) (*Page, error) {
+	if p, ok := c.pages[addr]; ok {
+		c.stats.Hits++
+		p.pins++
+		p.dirty = true
+		clear(p.Buf)
+		c.lru.MoveToFront(p.elem)
+		return p, nil
+	}
+	c.stats.Misses++
+	p, err := c.admit(addr)
+	if err != nil {
+		return nil, err
+	}
+	clear(p.Buf)
+	p.dirty = true
+	return p, nil
+}
+
+// admit makes room if needed and installs a pinned page for addr.
+func (c *Cache) admit(addr int64) (*Page, error) {
+	if len(c.pages) >= c.capacity {
+		if err := c.evictOne(); err != nil {
+			return nil, err
+		}
+	}
+	frame, err := c.pool.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	p := &Page{Buf: frame.Buf, addr: addr, pins: 1, frame: frame}
+	p.elem = c.lru.PushFront(p)
+	c.pages[addr] = p
+	return p, nil
+}
+
+// evictOne removes the least recently used unpinned page, writing it back if
+// dirty.
+func (c *Cache) evictOne() error {
+	for e := c.lru.Back(); e != nil; e = e.Prev() {
+		p := e.Value.(*Page)
+		if p.pins > 0 {
+			continue
+		}
+		if p.dirty {
+			if err := c.vol.WriteBlock(p.addr, p.Buf); err != nil {
+				return err
+			}
+			c.stats.WriteBack++
+		}
+		c.stats.Evictions++
+		c.discard(p)
+		return nil
+	}
+	return ErrAllPinned
+}
+
+// discard removes a page from all cache bookkeeping and returns its frame.
+func (c *Cache) discard(p *Page) {
+	c.lru.Remove(p.elem)
+	delete(c.pages, p.addr)
+	p.frame.Release()
+	p.frame = nil
+}
+
+// Unpin releases one pin on p. Unpinning an unpinned page panics: it means
+// the caller's pin accounting is corrupt.
+func (c *Cache) Unpin(p *Page) {
+	if p.pins <= 0 {
+		panic("cache: unpin of unpinned page")
+	}
+	p.pins--
+}
+
+// Flush writes every dirty page back to the volume, keeping pages resident.
+func (c *Cache) Flush() error {
+	for _, p := range c.pages {
+		if p.dirty {
+			if err := c.vol.WriteBlock(p.addr, p.Buf); err != nil {
+				return err
+			}
+			p.dirty = false
+			c.stats.WriteBack++
+		}
+	}
+	return nil
+}
+
+// Close flushes and drops every page, returning all frames to the pool.
+// The cache must have no pinned pages.
+func (c *Cache) Close() error {
+	for _, p := range c.pages {
+		if p.pins > 0 {
+			return fmt.Errorf("cache: close with page %d still pinned", p.addr)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		return err
+	}
+	for _, p := range c.pages {
+		c.discard(p)
+	}
+	return nil
+}
+
+// Drop removes block addr from the cache without writing it back, for blocks
+// that have been freed. No-op if absent or pinned.
+func (c *Cache) Drop(addr int64) {
+	if p, ok := c.pages[addr]; ok && p.pins == 0 {
+		c.discard(p)
+	}
+}

@@ -1,0 +1,198 @@
+package cache
+
+// Offline paging-policy simulators. Each takes a reference string of block
+// ids and a frame count and returns the number of page faults. These model
+// the survey's discussion of demand paging: LRU and FIFO are the classical
+// online policies, CLOCK is LRU's practical approximation, and MIN is
+// Belady's optimal offline policy, the lower bound every online policy is
+// compared against.
+
+// FaultsLRU replays refs under least-recently-used replacement.
+func FaultsLRU(refs []int64, frames int) int {
+	if frames <= 0 {
+		return len(refs)
+	}
+	type node struct {
+		id         int64
+		prev, next *node
+	}
+	resident := make(map[int64]*node, frames)
+	var head, tail *node // head = most recent
+	unlink := func(n *node) {
+		if n.prev != nil {
+			n.prev.next = n.next
+		} else {
+			head = n.next
+		}
+		if n.next != nil {
+			n.next.prev = n.prev
+		} else {
+			tail = n.prev
+		}
+		n.prev, n.next = nil, nil
+	}
+	pushFront := func(n *node) {
+		n.next = head
+		if head != nil {
+			head.prev = n
+		}
+		head = n
+		if tail == nil {
+			tail = n
+		}
+	}
+	faults := 0
+	for _, r := range refs {
+		if n, ok := resident[r]; ok {
+			unlink(n)
+			pushFront(n)
+			continue
+		}
+		faults++
+		if len(resident) == frames {
+			victim := tail
+			unlink(victim)
+			delete(resident, victim.id)
+		}
+		n := &node{id: r}
+		pushFront(n)
+		resident[r] = n
+	}
+	return faults
+}
+
+// FaultsFIFO replays refs under first-in-first-out replacement.
+func FaultsFIFO(refs []int64, frames int) int {
+	if frames <= 0 {
+		return len(refs)
+	}
+	resident := make(map[int64]bool, frames)
+	queue := make([]int64, 0, frames)
+	faults := 0
+	for _, r := range refs {
+		if resident[r] {
+			continue
+		}
+		faults++
+		if len(queue) == frames {
+			victim := queue[0]
+			queue = queue[1:]
+			delete(resident, victim)
+		}
+		queue = append(queue, r)
+		resident[r] = true
+	}
+	return faults
+}
+
+// FaultsCLOCK replays refs under the second-chance (CLOCK) approximation of
+// LRU.
+func FaultsCLOCK(refs []int64, frames int) int {
+	if frames <= 0 {
+		return len(refs)
+	}
+	type slot struct {
+		id  int64
+		ref bool
+	}
+	slots := make([]slot, 0, frames)
+	index := make(map[int64]int, frames)
+	hand := 0
+	faults := 0
+	for _, r := range refs {
+		if i, ok := index[r]; ok {
+			slots[i].ref = true
+			continue
+		}
+		faults++
+		if len(slots) < frames {
+			index[r] = len(slots)
+			slots = append(slots, slot{id: r, ref: true})
+			continue
+		}
+		for slots[hand].ref {
+			slots[hand].ref = false
+			hand = (hand + 1) % frames
+		}
+		delete(index, slots[hand].id)
+		slots[hand] = slot{id: r, ref: true}
+		index[r] = hand
+		hand = (hand + 1) % frames
+	}
+	return faults
+}
+
+// FaultsMIN replays refs under Belady's optimal offline policy: evict the
+// resident block whose next use is farthest in the future.
+func FaultsMIN(refs []int64, frames int) int {
+	if frames <= 0 {
+		return len(refs)
+	}
+	// nextUse[i] = index of the next occurrence of refs[i] after i, or
+	// len(refs) if none.
+	next := make([]int, len(refs))
+	last := make(map[int64]int)
+	for i := len(refs) - 1; i >= 0; i-- {
+		if j, ok := last[refs[i]]; ok {
+			next[i] = j
+		} else {
+			next[i] = len(refs)
+		}
+		last[refs[i]] = i
+	}
+	// resident maps block id -> next use index.
+	resident := make(map[int64]int, frames)
+	faults := 0
+	for i, r := range refs {
+		if _, ok := resident[r]; ok {
+			resident[r] = next[i]
+			continue
+		}
+		faults++
+		if len(resident) == frames {
+			victimID, farthest := int64(-1), -1
+			for id, nu := range resident {
+				if nu > farthest {
+					farthest = nu
+					victimID = id
+				}
+			}
+			delete(resident, victimID)
+		}
+		resident[r] = next[i]
+	}
+	return faults
+}
+
+// LoopRefs generates the reference string of k passes over blocks 0..n-1,
+// the classic adversarial workload for LRU when n > frames.
+func LoopRefs(n, passes int) []int64 {
+	out := make([]int64, 0, n*passes)
+	for p := 0; p < passes; p++ {
+		for i := 0; i < n; i++ {
+			out = append(out, int64(i))
+		}
+	}
+	return out
+}
+
+// ScanRefs generates a single sequential pass over n blocks.
+func ScanRefs(n int) []int64 { return LoopRefs(n, 1) }
+
+// WorkingSetRefs interleaves a hot set of h blocks (probability pHot per
+// reference, supplied as hot references out of every ten) with a cold
+// sequential stream, modelling database index-plus-scan traffic. rng is any
+// deterministic integer stream.
+func WorkingSetRefs(total, hot int, hotOutOfTen int, rng func() int64) []int64 {
+	out := make([]int64, total)
+	cold := int64(hot)
+	for i := range out {
+		if int(rng()%10) < hotOutOfTen {
+			out[i] = rng() % int64(hot)
+		} else {
+			out[i] = cold
+			cold++
+		}
+	}
+	return out
+}

@@ -1,0 +1,485 @@
+package emgraph
+
+import (
+	"fmt"
+
+	"em/internal/extsort"
+	"em/internal/pdm"
+	"em/internal/record"
+	"em/internal/stream"
+)
+
+// BFS runs external breadth-first search from src and returns (vertex,
+// level) pairs for every reachable vertex, sorted by vertex. It is the
+// level-synchronized sorting-and-scanning formulation of Munagala–Ranade,
+// generalized to directed graphs: the next frontier is the sorted neighbour
+// multiset of the current one minus the full visited set, which is itself
+// maintained as a sorted file and extended by a two-way merge each round.
+// The cost is O(V + Sort(E) + L·scan(V)) I/Os for a graph of L BFS levels;
+// for undirected graphs BFSUndirected implements the survey's exact variant,
+// which subtracts only the two most recent levels.
+func BFS(g *Graph, pool *pdm.Pool, src int64) (*stream.File[record.Pair], error) {
+	return bfsCore(g, pool, src, false)
+}
+
+// BFSUndirected is the Munagala–Ranade external BFS exactly as the survey
+// states it, valid only when every edge is present in both directions (as
+// produced by BuildUndirected): on an undirected graph a neighbour of level
+// t-1 lies in level t-2, t-1, or t, so subtracting the two most recent
+// levels suffices and the visited-set merge is avoided, giving the classical
+// O(V + Sort(E)) bound. Running it on a general digraph with cycles would
+// re-discover vertices and loop; use BFS there.
+func BFSUndirected(g *Graph, pool *pdm.Pool, src int64) (*stream.File[record.Pair], error) {
+	return bfsCore(g, pool, src, true)
+}
+
+func bfsCore(g *Graph, pool *pdm.Pool, src int64, undirected bool) (*stream.File[record.Pair], error) {
+	if src < 0 || src >= g.v {
+		return nil, fmt.Errorf("%w: source %d", ErrBadVertex, src)
+	}
+	out := stream.NewFile[record.Pair](g.vol, record.PairCodec{})
+	ow, err := stream.NewWriter(out, pool)
+	if err != nil {
+		return nil, err
+	}
+	// prev and prev2 are the two most recent levels, each sorted. In the
+	// general (directed) variant, visited accumulates every level seen so far
+	// as one sorted file; in the undirected variant it stays unused.
+	prev, err := stream.FromSlice(g.vol, pool, record.U64Codec{}, []uint64{uint64(src)})
+	if err != nil {
+		ow.Close()
+		return nil, err
+	}
+	prev2 := stream.NewFile[uint64](g.vol, record.U64Codec{})
+	var visited *stream.File[uint64]
+	if !undirected {
+		visited, err = stream.FromSlice(g.vol, pool, record.U64Codec{}, []uint64{uint64(src)})
+		if err != nil {
+			ow.Close()
+			return nil, err
+		}
+	}
+	if err := ow.Append(record.Pair{A: src, B: 0}); err != nil {
+		ow.Close()
+		return nil, err
+	}
+
+	for level := int64(1); prev.Len() > 0; level++ {
+		// Gather the multiset of neighbours of the current frontier.
+		raw := stream.NewFile[uint64](g.vol, record.U64Codec{})
+		rw, err := stream.NewWriter(raw, pool)
+		if err != nil {
+			ow.Close()
+			return nil, err
+		}
+		err = stream.ForEach(prev, pool, func(u uint64) error {
+			return g.appendNeighbors(pool, int64(u), func(v int64) error {
+				return rw.Append(uint64(v))
+			})
+		})
+		if err != nil {
+			rw.Close()
+			ow.Close()
+			return nil, err
+		}
+		if err := rw.Close(); err != nil {
+			ow.Close()
+			return nil, err
+		}
+		// Sort the multiset, then subtract the already-seen vertices in one
+		// synchronized scan, deduplicating as we go.
+		sorted, err := extsort.MergeSort(raw, pool, func(a, b uint64) bool { return a < b }, nil)
+		if err != nil {
+			ow.Close()
+			return nil, err
+		}
+		raw.Release()
+		var next *stream.File[uint64]
+		if undirected {
+			next, err = subtract(sorted, prev, prev2, pool)
+		} else {
+			next, err = subtract(sorted, visited, prev2, pool)
+		}
+		if err != nil {
+			ow.Close()
+			return nil, err
+		}
+		sorted.Release()
+		if !undirected {
+			merged, err := mergeSorted(visited, next, pool)
+			if err != nil {
+				ow.Close()
+				return nil, err
+			}
+			visited.Release()
+			visited = merged
+		}
+		prev2.Release()
+		prev2, prev = prev, next
+		if err := stream.ForEach(next, pool, func(u uint64) error {
+			return ow.Append(record.Pair{A: int64(u), B: level})
+		}); err != nil {
+			ow.Close()
+			return nil, err
+		}
+	}
+	prev.Release()
+	prev2.Release()
+	if visited != nil {
+		visited.Release()
+	}
+	if err := ow.Close(); err != nil {
+		return nil, err
+	}
+	// Canonical order: sort by vertex id.
+	res, err := extsort.MergeSort(out, pool, func(a, b record.Pair) bool { return a.A < b.A }, nil)
+	if err != nil {
+		return nil, err
+	}
+	out.Release()
+	return res, nil
+}
+
+// mergeSorted merges two sorted duplicate-free files into one sorted
+// duplicate-free file with a single synchronized scan.
+func mergeSorted(a, b *stream.File[uint64], pool *pdm.Pool) (*stream.File[uint64], error) {
+	out := stream.NewFile[uint64](a.Vol(), record.U64Codec{})
+	w, err := stream.NewWriter(out, pool)
+	if err != nil {
+		return nil, err
+	}
+	ar, err := stream.NewReader(a, pool)
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
+	defer ar.Close()
+	br, err := stream.NewReader(b, pool)
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
+	defer br.Close()
+	av, aOK, err := ar.Next()
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
+	bv, bOK, err := br.Next()
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
+	for aOK || bOK {
+		var v uint64
+		switch {
+		case aOK && bOK && av == bv:
+			v = av
+			if av, aOK, err = ar.Next(); err != nil {
+				w.Close()
+				return nil, err
+			}
+			if bv, bOK, err = br.Next(); err != nil {
+				w.Close()
+				return nil, err
+			}
+		case bOK && (!aOK || bv < av):
+			v = bv
+			if bv, bOK, err = br.Next(); err != nil {
+				w.Close()
+				return nil, err
+			}
+		default:
+			v = av
+			if av, aOK, err = ar.Next(); err != nil {
+				w.Close()
+				return nil, err
+			}
+		}
+		if err := w.Append(v); err != nil {
+			w.Close()
+			return nil, err
+		}
+	}
+	return out, w.Close()
+}
+
+// subtract returns the deduplicated elements of sorted (ascending, with
+// duplicates) that appear in neither a nor b (both sorted, duplicate-free).
+func subtract(sorted, a, b *stream.File[uint64], pool *pdm.Pool) (*stream.File[uint64], error) {
+	out := stream.NewFile[uint64](sorted.Vol(), record.U64Codec{})
+	w, err := stream.NewWriter(out, pool)
+	if err != nil {
+		return nil, err
+	}
+	sr, err := stream.NewReader(sorted, pool)
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
+	defer sr.Close()
+	ar, err := stream.NewReader(a, pool)
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
+	defer ar.Close()
+	br, err := stream.NewReader(b, pool)
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
+	defer br.Close()
+
+	av, aOK, err := ar.Next()
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
+	bv, bOK, err := br.Next()
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
+	var last uint64
+	haveLast := false
+	for {
+		v, ok, err := sr.Next()
+		if err != nil {
+			w.Close()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if haveLast && v == last {
+			continue // dedupe
+		}
+		last, haveLast = v, true
+		for aOK && av < v {
+			av, aOK, err = ar.Next()
+			if err != nil {
+				w.Close()
+				return nil, err
+			}
+		}
+		if aOK && av == v {
+			continue
+		}
+		for bOK && bv < v {
+			bv, bOK, err = br.Next()
+			if err != nil {
+				w.Close()
+				return nil, err
+			}
+		}
+		if bOK && bv == v {
+			continue
+		}
+		if err := w.Append(v); err != nil {
+			w.Close()
+			return nil, err
+		}
+	}
+	return out, w.Close()
+}
+
+// NaiveBFS is the survey's baseline: textbook BFS with the visited set kept
+// on disk as a bitmap, probed and updated once per arc — Θ(V + E) I/Os on
+// unstructured graphs. The FIFO queue holds vertex ids only (Θ(V) words of
+// catalog-scale memory, as with the adjacency offsets).
+func NaiveBFS(g *Graph, pool *pdm.Pool, src int64) (*stream.File[record.Pair], error) {
+	if src < 0 || src >= g.v {
+		return nil, fmt.Errorf("%w: source %d", ErrBadVertex, src)
+	}
+	visited, err := newBitmap(g.vol, pool, g.v)
+	if err != nil {
+		return nil, err
+	}
+	out := stream.NewFile[record.Pair](g.vol, record.PairCodec{})
+	w, err := stream.NewWriter(out, pool)
+	if err != nil {
+		return nil, err
+	}
+	if err := visited.set(pool, src); err != nil {
+		w.Close()
+		return nil, err
+	}
+	type qItem struct {
+		v     int64
+		level int64
+	}
+	queue := []qItem{{src, 0}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if err := w.Append(record.Pair{A: cur.v, B: cur.level}); err != nil {
+			w.Close()
+			return nil, err
+		}
+		var nbrs []int64
+		if err := g.appendNeighbors(pool, cur.v, func(v int64) error {
+			nbrs = append(nbrs, v)
+			return nil
+		}); err != nil {
+			w.Close()
+			return nil, err
+		}
+		for _, v := range nbrs {
+			seen, err := visited.get(pool, v) // one I/O per arc: the Θ(E) term
+			if err != nil {
+				w.Close()
+				return nil, err
+			}
+			if seen {
+				continue
+			}
+			if err := visited.set(pool, v); err != nil {
+				w.Close()
+				return nil, err
+			}
+			queue = append(queue, qItem{v, cur.level + 1})
+		}
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	res, err := extsort.MergeSort(out, pool, func(a, b record.Pair) bool { return a.A < b.A }, nil)
+	if err != nil {
+		return nil, err
+	}
+	out.Release()
+	return res, nil
+}
+
+// bitmap is an on-disk bit array with one-I/O get and read-modify-write set.
+type bitmap struct {
+	vol  *pdm.Volume
+	base int64
+	bits int64
+}
+
+func newBitmap(vol *pdm.Volume, pool *pdm.Pool, bits int64) (*bitmap, error) {
+	bb := int64(vol.BlockBytes())
+	blocks := (bits + bb*8 - 1) / (bb * 8)
+	if blocks == 0 {
+		blocks = 1
+	}
+	b := &bitmap{vol: vol, base: vol.Alloc(int(blocks)), bits: bits}
+	// Clear every block: the volume reuses freed blocks without zeroing them
+	// (it models a disk, not an allocator), and the survey's naive BFS pays
+	// Θ(V/B) writes to initialize its visited bits in any case.
+	fr, err := pool.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	defer fr.Release()
+	clear(fr.Buf)
+	for i := int64(0); i < blocks; i++ {
+		if err := vol.WriteBlock(b.base+i, fr.Buf); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+func (b *bitmap) locate(i int64) (blk int64, byteOff int, mask byte) {
+	bitsPerBlock := int64(b.vol.BlockBytes()) * 8
+	return b.base + i/bitsPerBlock, int((i % bitsPerBlock) / 8), 1 << uint((i%bitsPerBlock)%8)
+}
+
+func (b *bitmap) get(pool *pdm.Pool, i int64) (bool, error) {
+	fr, err := pool.Alloc()
+	if err != nil {
+		return false, err
+	}
+	defer fr.Release()
+	blk, off, mask := b.locate(i)
+	if err := b.vol.ReadBlock(blk, fr.Buf); err != nil {
+		return false, err
+	}
+	return fr.Buf[off]&mask != 0, nil
+}
+
+func (b *bitmap) set(pool *pdm.Pool, i int64) error {
+	fr, err := pool.Alloc()
+	if err != nil {
+		return err
+	}
+	defer fr.Release()
+	blk, off, mask := b.locate(i)
+	if err := b.vol.ReadBlock(blk, fr.Buf); err != nil {
+		return err
+	}
+	fr.Buf[off] |= mask
+	return b.vol.WriteBlock(blk, fr.Buf)
+}
+
+// ConnectedComponents labels every vertex of an undirected graph with the
+// smallest vertex id in its component, running one external BFS per
+// component. The per-vertex "already labelled" set is catalog-scale memory
+// (one bit per vertex), matching the offsets array's assumption.
+func ConnectedComponents(g *Graph, pool *pdm.Pool) (*stream.File[record.Pair], error) {
+	out := stream.NewFile[record.Pair](g.vol, record.PairCodec{})
+	w, err := stream.NewWriter(out, pool)
+	if err != nil {
+		return nil, err
+	}
+	labelled := make([]bool, g.v)
+	for src := int64(0); src < g.v; src++ {
+		if labelled[src] {
+			continue
+		}
+		levels, err := BFSUndirected(g, pool, src)
+		if err != nil {
+			w.Close()
+			return nil, err
+		}
+		err = stream.ForEach(levels, pool, func(p record.Pair) error {
+			labelled[p.A] = true
+			return w.Append(record.Pair{A: p.A, B: src})
+		})
+		levels.Release()
+		if err != nil {
+			w.Close()
+			return nil, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	res, err := extsort.MergeSort(out, pool, func(a, b record.Pair) bool { return a.A < b.A }, nil)
+	if err != nil {
+		return nil, err
+	}
+	out.Release()
+	return res, nil
+}
+
+// GridEdges generates the undirected edges of a rows×cols grid graph, the
+// canonical large-diameter workload for BFS experiments.
+func GridEdges(vol *pdm.Volume, pool *pdm.Pool, rows, cols int) (*stream.File[record.Pair], error) {
+	f := stream.NewFile[record.Pair](vol, record.PairCodec{})
+	w, err := stream.NewWriter(f, pool)
+	if err != nil {
+		return nil, err
+	}
+	id := func(r, c int) int64 { return int64(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				if err := w.Append(record.Pair{A: id(r, c), B: id(r, c+1)}); err != nil {
+					w.Close()
+					return nil, err
+				}
+			}
+			if r+1 < rows {
+				if err := w.Append(record.Pair{A: id(r, c), B: id(r+1, c)}); err != nil {
+					w.Close()
+					return nil, err
+				}
+			}
+		}
+	}
+	return f, w.Close()
+}

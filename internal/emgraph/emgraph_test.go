@@ -1,0 +1,309 @@
+package emgraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"em/internal/pdm"
+	"em/internal/record"
+	"em/internal/stream"
+)
+
+func newEnv(t testing.TB) (*pdm.Volume, *pdm.Pool) {
+	t.Helper()
+	vol := pdm.MustVolume(pdm.Config{BlockBytes: 128, MemBlocks: 12, Disks: 1})
+	return vol, pdm.PoolFor(vol)
+}
+
+func edgeFile(t testing.TB, vol *pdm.Volume, pool *pdm.Pool, edges [][2]int64) *stream.File[record.Pair] {
+	t.Helper()
+	pairs := make([]record.Pair, len(edges))
+	for i, e := range edges {
+		pairs[i] = record.Pair{A: e[0], B: e[1]}
+	}
+	f, err := stream.FromSlice(vol, pool, record.PairCodec{}, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func levelsOf(t *testing.T, f *stream.File[record.Pair], pool *pdm.Pool) map[int64]int64 {
+	t.Helper()
+	out := map[int64]int64{}
+	if err := stream.ForEach(f, pool, func(p record.Pair) error {
+		if _, dup := out[p.A]; dup {
+			t.Fatalf("vertex %d reported twice", p.A)
+		}
+		out[p.A] = p.B
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// refBFS computes levels with a plain in-memory BFS.
+func refBFS(v int64, edges [][2]int64, src int64, directed bool) map[int64]int64 {
+	adj := make(map[int64][]int64)
+	for _, e := range edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		if !directed {
+			adj[e[1]] = append(adj[e[1]], e[0])
+		}
+	}
+	lev := map[int64]int64{src: 0}
+	queue := []int64{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, w := range adj[u] {
+			if _, ok := lev[w]; !ok {
+				lev[w] = lev[u] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return lev
+}
+
+func TestBuildAndDegrees(t *testing.T) {
+	vol, pool := newEnv(t)
+	edges := [][2]int64{{0, 1}, {0, 2}, {1, 2}, {3, 0}}
+	f := edgeFile(t, vol, pool, edges)
+	g, err := Build(vol, pool, 4, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.V() != 4 || g.E() != 4 {
+		t.Fatalf("V=%d E=%d", g.V(), g.E())
+	}
+	wantDeg := []int64{2, 1, 0, 1}
+	for u, want := range wantDeg {
+		d, err := g.Degree(int64(u))
+		if err != nil || d != want {
+			t.Fatalf("deg(%d) = %d,%v want %d", u, d, err, want)
+		}
+	}
+	nbrs, err := g.Neighbors(pool, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nbrs) != 2 || nbrs[0] != 1 || nbrs[1] != 2 {
+		t.Fatalf("neighbors(0) = %v", nbrs)
+	}
+	if _, err := g.Degree(4); err == nil {
+		t.Fatal("out-of-range degree accepted")
+	}
+}
+
+func TestBuildRejectsBadArcs(t *testing.T) {
+	vol, pool := newEnv(t)
+	f := edgeFile(t, vol, pool, [][2]int64{{0, 5}})
+	if _, err := Build(vol, pool, 3, f); err == nil {
+		t.Fatal("arc to vertex 5 accepted with V=3")
+	}
+}
+
+func TestBFSMatchesReferenceDirected(t *testing.T) {
+	vol, pool := newEnv(t)
+	edges := [][2]int64{{0, 1}, {1, 2}, {2, 3}, {0, 4}, {4, 3}, {3, 5}, {6, 0}}
+	f := edgeFile(t, vol, pool, edges)
+	g, err := Build(vol, pool, 7, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := BFS(g, pool, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := levelsOf(t, out, pool)
+	want := refBFS(7, edges, 0, true)
+	if len(got) != len(want) {
+		t.Fatalf("visited %d vertices, want %d", len(got), len(want))
+	}
+	for v, l := range want {
+		if got[v] != l {
+			t.Fatalf("level(%d) = %d, want %d", v, got[v], l)
+		}
+	}
+	if _, ok := got[6]; ok {
+		t.Fatal("unreachable vertex reported")
+	}
+}
+
+func TestBFSGrid(t *testing.T) {
+	vol, pool := newEnv(t)
+	rows, cols := 8, 8
+	ef, err := GridEdges(vol, pool, rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := BuildUndirected(vol, pool, int64(rows*cols), ef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := BFS(g, pool, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := levelsOf(t, out, pool)
+	if len(got) != rows*cols {
+		t.Fatalf("visited %d of %d", len(got), rows*cols)
+	}
+	// On a grid, level = Manhattan distance from the corner.
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if got[int64(r*cols+c)] != int64(r+c) {
+				t.Fatalf("level(%d,%d) = %d, want %d", r, c, got[int64(r*cols+c)], r+c)
+			}
+		}
+	}
+	if pool.InUse() != 0 {
+		t.Fatalf("leaked %d frames", pool.InUse())
+	}
+}
+
+func TestNaiveBFSMatchesBFS(t *testing.T) {
+	vol, pool := newEnv(t)
+	rng := rand.New(rand.NewSource(1))
+	v := int64(60)
+	var edges [][2]int64
+	for i := 0; i < 150; i++ {
+		edges = append(edges, [2]int64{rng.Int63n(v), rng.Int63n(v)})
+	}
+	f := edgeFile(t, vol, pool, edges)
+	g, err := BuildUndirected(vol, pool, v, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := BFS(g, pool, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NaiveBFS(g, pool, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	la := levelsOf(t, a, pool)
+	lb := levelsOf(t, b, pool)
+	if len(la) != len(lb) {
+		t.Fatalf("visited sets differ: %d vs %d", len(la), len(lb))
+	}
+	for k, v := range la {
+		if lb[k] != v {
+			t.Fatalf("level(%d): %d vs %d", k, v, lb[k])
+		}
+	}
+}
+
+func TestExternalBFSBeatsNaiveIO(t *testing.T) {
+	// F5: on a sparse random graph with realistic B, MR BFS ≈ V + Sort(E)
+	// beats the naive Θ(V + E) visited-bit probing.
+	vol := pdm.MustVolume(pdm.Config{BlockBytes: 1024, MemBlocks: 12, Disks: 1})
+	pool := pdm.PoolFor(vol)
+	rng := rand.New(rand.NewSource(2))
+	v := int64(2000)
+	var edges [][2]int64
+	// Connected ring plus random chords: degree ≈ 6.
+	for i := int64(0); i < v; i++ {
+		edges = append(edges, [2]int64{i, (i + 1) % v})
+	}
+	for i := 0; i < int(2*v); i++ {
+		edges = append(edges, [2]int64{rng.Int63n(v), rng.Int63n(v)})
+	}
+	f := edgeFile(t, vol, pool, edges)
+	g, err := BuildUndirected(vol, pool, v, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol.Stats().Reset()
+	if _, err := NaiveBFS(g, pool, 0); err != nil {
+		t.Fatal(err)
+	}
+	naiveIO := vol.Stats().Total()
+	vol.Stats().Reset()
+	if _, err := BFS(g, pool, 0); err != nil {
+		t.Fatal(err)
+	}
+	mrIO := vol.Stats().Total()
+	if mrIO >= naiveIO {
+		t.Fatalf("MR BFS (%d I/Os) should beat naive BFS (%d I/Os)", mrIO, naiveIO)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	vol, pool := newEnv(t)
+	// Three components: {0,1,2}, {3,4}, {5}.
+	edges := [][2]int64{{0, 1}, {1, 2}, {3, 4}}
+	f := edgeFile(t, vol, pool, edges)
+	g, err := BuildUndirected(vol, pool, 6, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ConnectedComponents(g, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := levelsOf(t, out, pool) // (vertex, label)
+	want := map[int64]int64{0: 0, 1: 0, 2: 0, 3: 3, 4: 3, 5: 5}
+	if len(got) != len(want) {
+		t.Fatalf("labelled %d vertices", len(got))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("component(%d) = %d, want %d", k, got[k], v)
+		}
+	}
+}
+
+// Property: MR BFS visits exactly the reference reachable set with correct
+// levels on arbitrary sparse digraphs.
+func TestQuickBFSMatchesReference(t *testing.T) {
+	f := func(raw []uint16, vRaw uint8) bool {
+		v := int64(vRaw%30) + 2
+		var edges [][2]int64
+		for i := 0; i+1 < len(raw) && i < 80; i += 2 {
+			edges = append(edges, [2]int64{int64(raw[i]) % v, int64(raw[i+1]) % v})
+		}
+		vol := pdm.MustVolume(pdm.Config{BlockBytes: 128, MemBlocks: 12, Disks: 1})
+		pool := pdm.PoolFor(vol)
+		pairs := make([]record.Pair, len(edges))
+		for i, e := range edges {
+			pairs[i] = record.Pair{A: e[0], B: e[1]}
+		}
+		ef, err := stream.FromSlice(vol, pool, record.PairCodec{}, pairs)
+		if err != nil {
+			return false
+		}
+		g, err := Build(vol, pool, v, ef)
+		if err != nil {
+			return false
+		}
+		out, err := BFS(g, pool, 0)
+		if err != nil {
+			return false
+		}
+		got := map[int64]int64{}
+		if err := stream.ForEach(out, pool, func(p record.Pair) error {
+			got[p.A] = p.B
+			return nil
+		}); err != nil {
+			return false
+		}
+		want := refBFS(v, edges, 0, true)
+		if len(got) != len(want) {
+			return false
+		}
+		for k, l := range want {
+			if got[k] != l {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,157 @@
+// Package emgraph implements the survey's external graph-search results on
+// top of the sorting and scanning substrate: adjacency-list graph storage,
+// the Munagala–Ranade external BFS with O(V + Sort(E)) I/Os, the naive BFS
+// baseline whose per-edge visited-bit probes cost Θ(V + E) I/Os, and
+// connected components by repeated external search (experiment F5).
+package emgraph
+
+import (
+	"errors"
+	"fmt"
+
+	"em/internal/extsort"
+	"em/internal/pdm"
+	"em/internal/record"
+	"em/internal/stream"
+)
+
+// ErrBadVertex reports a vertex id outside [0, V).
+var ErrBadVertex = errors.New("emgraph: vertex out of range")
+
+// Graph is a static directed graph with vertices 0..V-1 whose adjacency
+// lists are packed, sorted by source, in a stream file. The per-vertex
+// offset catalog is held in memory — Θ(V) words, the standard assumption
+// for the adjacency-list format (the edge data itself never is).
+type Graph struct {
+	vol     *pdm.Volume
+	adj     *stream.File[record.Pair]
+	offsets []int64 // offsets[u]..offsets[u+1] are u's arcs; len V+1
+	v       int64
+}
+
+// Build constructs a graph from an arbitrary-order arc file by sorting it
+// with Sort(E) I/Os and recording per-vertex offsets. Arcs are (src, dst)
+// pairs; parallel arcs are kept.
+func Build(vol *pdm.Volume, pool *pdm.Pool, v int64, arcs *stream.File[record.Pair]) (*Graph, error) {
+	if v < 1 {
+		return nil, fmt.Errorf("emgraph: need at least one vertex, got %d", v)
+	}
+	sorted, err := extsort.MergeSort(arcs, pool, func(a, b record.Pair) bool {
+		if a.A != b.A {
+			return a.A < b.A
+		}
+		return a.B < b.B
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	g := &Graph{vol: vol, adj: sorted, offsets: make([]int64, v+1), v: v}
+	idx := int64(0)
+	next := int64(0) // next vertex whose offset is unset
+	err = stream.ForEach(sorted, pool, func(p record.Pair) error {
+		if p.A < 0 || p.A >= v || p.B < 0 || p.B >= v {
+			return fmt.Errorf("%w: arc (%d,%d) with V=%d", ErrBadVertex, p.A, p.B, v)
+		}
+		for next <= p.A {
+			g.offsets[next] = idx
+			next++
+		}
+		idx++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ; next <= v; next++ {
+		g.offsets[next] = idx
+	}
+	return g, nil
+}
+
+// BuildUndirected materialises both arc directions before building.
+func BuildUndirected(vol *pdm.Volume, pool *pdm.Pool, v int64, edges *stream.File[record.Pair]) (*Graph, error) {
+	arcs := stream.NewFile[record.Pair](vol, record.PairCodec{})
+	w, err := stream.NewWriter(arcs, pool)
+	if err != nil {
+		return nil, err
+	}
+	if err := stream.ForEach(edges, pool, func(p record.Pair) error {
+		if err := w.Append(p); err != nil {
+			return err
+		}
+		return w.Append(record.Pair{A: p.B, B: p.A})
+	}); err != nil {
+		w.Close()
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	g, err := Build(vol, pool, v, arcs)
+	if err != nil {
+		return nil, err
+	}
+	arcs.Release()
+	return g, nil
+}
+
+// V returns the vertex count.
+func (g *Graph) V() int64 { return g.v }
+
+// E returns the arc count.
+func (g *Graph) E() int64 { return g.adj.Len() }
+
+// Degree returns vertex u's out-degree.
+func (g *Graph) Degree(u int64) (int64, error) {
+	if u < 0 || u >= g.v {
+		return 0, fmt.Errorf("%w: %d", ErrBadVertex, u)
+	}
+	return g.offsets[u+1] - g.offsets[u], nil
+}
+
+// appendNeighbors reads u's adjacency segment — O(1 + deg(u)/B) block reads
+// — and appends each neighbour to w.
+func (g *Graph) appendNeighbors(pool *pdm.Pool, u int64, emit func(int64) error) error {
+	if u < 0 || u >= g.v {
+		return fmt.Errorf("%w: %d", ErrBadVertex, u)
+	}
+	lo, hi := g.offsets[u], g.offsets[u+1]
+	if lo == hi {
+		return nil
+	}
+	fr, err := pool.Alloc()
+	if err != nil {
+		return err
+	}
+	defer fr.Release()
+	per := int64(g.adj.PerBlock())
+	codec := g.adj.Codec()
+	addrs := stream.BlockAddrs(g.adj)
+	i := lo
+	for i < hi {
+		blk := i / per
+		if err := g.vol.ReadBlock(addrs[blk], fr.Buf); err != nil {
+			return err
+		}
+		for ; i < hi && i/per == blk; i++ {
+			off := int(i%per) * codec.Size()
+			if err := emit(codec.Decode(fr.Buf[off:]).B); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Neighbors returns u's neighbours (for tests and small queries).
+func (g *Graph) Neighbors(pool *pdm.Pool, u int64) ([]int64, error) {
+	var out []int64
+	err := g.appendNeighbors(pool, u, func(v int64) error {
+		out = append(out, v)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,333 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// These tests run every experiment at reduced scale and assert the *shape*
+// of the survey's claim — who wins, by roughly what factor, where the
+// crossover falls — which is exactly what reproduction means for a survey
+// of asymptotic bounds (see DESIGN.md §1).
+
+func TestT1FundamentalBoundsShape(t *testing.T) {
+	tab, err := T1FundamentalBounds([]int{1 << 12, 1 << 14, 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab.Rows {
+		if got, pred := r.Cells["scan"], r.Cells["scanPred"]; got < pred || got > 2*pred+4 {
+			t.Errorf("%s: scan %g outside [pred, 2·pred] (pred %g)", r.Label, got, pred)
+		}
+		if got, pred := r.Cells["sort"], r.Cells["sortPred"]; got > 3*pred {
+			t.Errorf("%s: sort %g exceeds 3×predicted %g", r.Label, got, pred)
+		}
+		if got, pred := r.Cells["search"], r.Cells["searchPred"]; got > pred+2 {
+			t.Errorf("%s: search %g probes vs predicted %g", r.Label, got, pred)
+		}
+	}
+}
+
+func TestT2SortingShape(t *testing.T) {
+	tab, err := T2SortingAlgorithms([]int{1 << 12, 1 << 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	merge, dist, bt := last.Cells["merge"], last.Cells["dist"], last.Cells["btree"]
+	if r := ratio(dist, merge); r > 2.5 || r < 0.4 {
+		t.Errorf("merge (%g) vs distribution (%g): ratio %g outside [0.4, 2.5]", merge, dist, r)
+	}
+	if bt < 5*merge {
+		t.Errorf("btree insertion sort (%g) should be ≥5× merge sort (%g)", bt, merge)
+	}
+}
+
+func TestF1MergePassesShape(t *testing.T) {
+	tab, err := F1MergePassesVsMemory(1<<15, []int{2, 4, 8, 16, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 1e18
+	for _, r := range tab.Rows {
+		meas, pred := r.Cells["passes"], r.Cells["passPred"]
+		// Measured passes count partial final blocks, so allow slack of one.
+		if meas > pred+1 || meas < pred-1 {
+			t.Errorf("%s: measured %.2f passes, predicted %.0f", r.Label, meas, pred)
+		}
+		if pred > prev {
+			t.Errorf("passes increased when memory grew: %s", r.Label)
+		}
+		prev = pred
+	}
+	// More memory must strictly help between the extremes.
+	if tab.Rows[0].Cells["passPred"] <= tab.Rows[len(tab.Rows)-1].Cells["passPred"] {
+		t.Error("fan-in sweep did not reduce passes")
+	}
+}
+
+func TestF2RunFormationShape(t *testing.T) {
+	tab, err := F2RunFormation(1 << 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string]Row{}
+	for _, r := range tab.Rows {
+		byLabel[r.Label] = r
+	}
+	ls := byLabel["load-sort/random"].Cells["lenOverM"]
+	rs := byLabel["replsel/random"].Cells["lenOverM"]
+	if ls > 1.01 {
+		t.Errorf("load-sort run length %g·M exceeds M", ls)
+	}
+	if rs < 1.5 || rs > 3.0 {
+		t.Errorf("replacement selection run length %g·M, want ≈2·M", rs)
+	}
+	sortedRS := byLabel["replsel/90%sorted"].Cells["lenOverM"]
+	if sortedRS < rs {
+		t.Errorf("replacement selection on nearly-sorted input (%g·M) should beat random (%g·M)", sortedRS, rs)
+	}
+}
+
+func TestF3DiskStripingShape(t *testing.T) {
+	tab, err := F3DiskStriping(1<<14, []int{1, 2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := tab.Rows[0]
+	for i, r := range tab.Rows[1:] {
+		d := float64([]int{2, 4, 8}[i])
+		// Scan block reads constant across D; steps fall by ≈ D.
+		if r.Cells["scanReads"] != base.Cells["scanReads"] {
+			t.Errorf("%s: scan reads changed with D", r.Label)
+		}
+		speedup := base.Cells["scanSteps"] / r.Cells["scanSteps"]
+		if speedup < 0.8*d {
+			t.Errorf("%s: scan step speedup %.2f, want ≈%g", r.Label, speedup, d)
+		}
+		// Sort steps must also fall (striping helps), block I/Os stay within 2x.
+		if r.Cells["sortSteps"] >= base.Cells["sortSteps"] {
+			t.Errorf("%s: striped sort steps did not fall", r.Label)
+		}
+		if r.Cells["sortIOs"] > 2*base.Cells["sortIOs"] {
+			t.Errorf("%s: striped sort block I/Os blew up", r.Label)
+		}
+	}
+}
+
+func TestT3PermutingShape(t *testing.T) {
+	tab, err := T3Permuting([]int{1 << 8, 1 << 12, 1 << 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Largest instance: sort-based must win (the survey's large-N branch).
+	last := tab.Rows[len(tab.Rows)-1]
+	if last.Cells["winner01"] != 1 {
+		t.Errorf("sort-based permuting should win at N=2^14: naive=%g sort=%g",
+			last.Cells["naive"], last.Cells["sort"])
+	}
+	// Naive cost must scale ∝ N (one I/O per record, ±2x).
+	first := tab.Rows[0]
+	growth := last.Cells["naive"] / first.Cells["naive"]
+	if growth < 16 { // N grew 64-fold; naive must grow at least 16-fold
+		t.Errorf("naive permute cost grew only %.1fx for 64x N", growth)
+	}
+}
+
+func TestT4TransposeShape(t *testing.T) {
+	tab, err := T4Transpose([]int{16, 64, 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	if last.Cells["speedup"] < 4 {
+		t.Errorf("blocked transpose speedup %.1fx at 128x128, want ≥4x", last.Cells["speedup"])
+	}
+	// Advantage must grow once the matrix no longer fits in memory.
+	if tab.Rows[2].Cells["speedup"] < tab.Rows[0].Cells["speedup"] {
+		t.Error("blocked-transpose advantage should grow with size")
+	}
+}
+
+func TestT5OnlineSearchShape(t *testing.T) {
+	tab, err := T5OnlineSearch(1<<15, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tab.Rows[0]
+	bin, bt, hash := r.Cells["binary"], r.Cells["btree"], r.Cells["hash"]
+	if !(bin > bt && bt > hash) {
+		t.Errorf("expected binary (%g) > btree (%g) > hash (%g) reads/lookup", bin, bt, hash)
+	}
+	if bt > r.Cells["btHeight"]+1 {
+		t.Errorf("btree reads/lookup %g exceeds height %g + 1", bt, r.Cells["btHeight"])
+	}
+	if hash > 3 {
+		t.Errorf("hashing reads/lookup %g, want O(1) ≈ ≤3", hash)
+	}
+}
+
+func TestT6BufferTreeShape(t *testing.T) {
+	tab, err := T6BufferTreeVsBTree([]int{1 << 12, 1 << 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab.Rows {
+		if r.Cells["bufPerOp"] >= 1 {
+			t.Errorf("%s: buffer tree %.3f I/Os per op, want ≪ 1", r.Label, r.Cells["bufPerOp"])
+		}
+		if r.Cells["speedup"] < 3 {
+			t.Errorf("%s: buffer tree speedup %.1fx, want ≥3x", r.Label, r.Cells["speedup"])
+		}
+	}
+}
+
+func TestT7PriorityQueueShape(t *testing.T) {
+	tab, err := T7PriorityQueue([]int{1 << 12, 1 << 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab.Rows {
+		if r.Cells["speedup"] < 3 {
+			t.Errorf("%s: external PQ speedup %.1fx over B-tree PQ, want ≥3x", r.Label, r.Cells["speedup"])
+		}
+		if r.Cells["pq"] > 20*r.Cells["sortPred"] {
+			t.Errorf("%s: PQ %.0f I/Os ≫ Sort(N) %.0f", r.Label, r.Cells["pq"], r.Cells["sortPred"])
+		}
+	}
+}
+
+func TestT8DistributionSweepShape(t *testing.T) {
+	tab, err := T8DistributionSweep([]int{256, 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	if last.Cells["speedup"] < 4 {
+		t.Errorf("sweep speedup %.1fx at N=1024, want ≥4x", last.Cells["speedup"])
+	}
+	if tab.Rows[1].Cells["speedup"] < tab.Rows[0].Cells["speedup"] {
+		t.Error("sweep advantage should grow with N")
+	}
+}
+
+func TestT9BulkLoadShape(t *testing.T) {
+	tab, err := T9BulkLoad([]int{1 << 12, 1 << 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab.Rows {
+		if r.Cells["speedup"] < 3 {
+			t.Errorf("%s: bulk load speedup %.1fx, want ≥3x", r.Label, r.Cells["speedup"])
+		}
+	}
+	if tab.Rows[1].Cells["speedup"] < tab.Rows[0].Cells["speedup"] {
+		t.Error("bulk-load advantage should grow with N")
+	}
+}
+
+func TestF4ListRankingShape(t *testing.T) {
+	tab, err := F4ListRanking([]int{1 << 10, 1 << 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	if last.Cells["speedup"] < 2 {
+		t.Errorf("list ranking speedup %.1fx at N=2^13, want ≥2x", last.Cells["speedup"])
+	}
+	// Naive cost ≈ one I/O per node.
+	if last.Cells["naive"] < (1<<13)/2 {
+		t.Errorf("naive ranking cost %.0f suspiciously small for N=%d", last.Cells["naive"], 1<<13)
+	}
+}
+
+func TestF5ExternalBFSShape(t *testing.T) {
+	tab, err := F5ExternalBFS([]int{500, 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	if last.Cells["speedup"] < 1.5 {
+		t.Errorf("MR BFS speedup %.2fx at V=2000, want ≥1.5x", last.Cells["speedup"])
+	}
+}
+
+func TestF6PagingShape(t *testing.T) {
+	tab, err := F6Paging(24, 16, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab.Rows {
+		min := r.Cells["MIN"]
+		for _, pol := range []string{"LRU", "FIFO", "CLOCK"} {
+			if r.Cells[pol] < min {
+				t.Errorf("%s: %s (%g) beat MIN (%g) — impossible", r.Label, pol, r.Cells[pol], min)
+			}
+		}
+		if r.Label == "loop" {
+			// Loop of 24 pages through 16 frames: LRU faults every reference.
+			if r.Cells["LRU"] != r.Cells["refs"] {
+				t.Errorf("loop: LRU faulted %g of %g refs, want all", r.Cells["LRU"], r.Cells["refs"])
+			}
+			if min >= r.Cells["LRU"] {
+				t.Error("loop: MIN should beat LRU strictly")
+			}
+		}
+	}
+}
+
+func TestF7FFTShape(t *testing.T) {
+	tab, err := F7FFT([]int{1 << 8, 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab.Rows {
+		if r.Cells["speedup"] < 10 {
+			t.Errorf("%s: six-step speedup %.1fx, want ≥10x", r.Label, r.Cells["speedup"])
+		}
+	}
+	if tab.Rows[1].Cells["speedup"] < tab.Rows[0].Cells["speedup"] {
+		t.Error("six-step advantage should grow with N")
+	}
+}
+
+func TestF8TimeForwardShape(t *testing.T) {
+	tab, err := F8TimeForward([]int{500, 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab.Rows {
+		// The gap is ≈ B divided by the PQ's sort constant: large at every
+		// size (it narrows slowly as extra merge passes appear, exactly the
+		// E/Sort(E) shape, so no monotone-growth assertion).
+		if r.Cells["speedup"] < 10 {
+			t.Errorf("%s: time-forward speedup %.1fx, want ≥10x", r.Label, r.Cells["speedup"])
+		}
+		if r.Cells["timefwd"] >= r.Cells["E"] {
+			t.Errorf("%s: time-forward %.0f I/Os not sublinear in E=%.0f", r.Label, r.Cells["timefwd"], r.Cells["E"])
+		}
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tab := &Table{
+		ID:    "TX",
+		Title: "demo",
+		Rows: []Row{{
+			Label: "N=1",
+			Cells: map[string]float64{"a": 1, "b": 2.5},
+			Order: []string{"a", "b"},
+		}},
+		Notes: "note",
+	}
+	s := tab.String()
+	for _, want := range []string{"TX", "demo", "N=1", "2.50", "note"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table text missing %q:\n%s", want, s)
+		}
+	}
+	empty := &Table{ID: "TY", Title: "none"}
+	if !strings.Contains(empty.String(), "no rows") {
+		t.Error("empty table should say so")
+	}
+}

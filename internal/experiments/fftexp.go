@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"em/internal/fft"
+	"em/internal/stream"
+)
+
+// F7FFT compares the six-step external FFT, O(Sort(N)) I/Os, against the
+// unblocked butterfly network, Θ(N·log₂N) I/Os — the survey's FFT row in
+// the batched-problems table.
+func F7FFT(ns []int) (*Table, error) {
+	t := &Table{
+		ID:    "F7",
+		Title: "FFT: six-step O(Sort(N)) vs unblocked butterflies Θ(N·log₂N)",
+		Notes: "six-step ≪ naive; gap grows as N·logN / Sort(N) ≈ B·log₂N/log_m n",
+	}
+	for _, n := range ns {
+		e := NewEnv(1024, 16, 1)
+		rng := rand.New(rand.NewSource(73))
+		x := make([]fft.Complex, n)
+		for i := range x {
+			x[i] = fft.Complex{Re: rng.NormFloat64(), Im: rng.NormFloat64()}
+		}
+		f, err := stream.FromSlice(e.Vol, e.Pool, fft.ComplexCodec{}, x)
+		if err != nil {
+			return nil, err
+		}
+
+		e.Vol.Stats().Reset()
+		six, err := fft.Forward(f, e.Pool)
+		if err != nil {
+			return nil, err
+		}
+		sixIOs := float64(e.Vol.Stats().Total())
+		six.Release()
+
+		e.Vol.Stats().Reset()
+		naive, err := fft.NaiveStages(f, e.Pool, -1)
+		if err != nil {
+			return nil, err
+		}
+		naiveIOs := float64(e.Vol.Stats().Total())
+		naive.Release()
+
+		per := e.Vol.BlockBytes() / (fft.ComplexCodec{}).Size()
+		t.Rows = append(t.Rows, Row{
+			Label: fmt.Sprintf("N=%d", n),
+			Cells: map[string]float64{
+				"sixstep":  sixIOs,
+				"naive":    naiveIOs,
+				"sortPred": SortPredicted(n, per, e.Pool.Capacity(), 1),
+				"speedup":  ratio(naiveIOs, sixIOs),
+			},
+			Order: []string{"sixstep", "naive", "sortPred", "speedup"},
+		})
+	}
+	return t, nil
+}

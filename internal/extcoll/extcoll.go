@@ -1,0 +1,268 @@
+// Package extcoll implements the survey's elementary external-memory
+// collections: a stack and a FIFO queue whose operations cost amortised
+// O(1/B) I/Os — the warm-up results the survey derives before the batched
+// structures.
+//
+// The stack keeps the top of the stack in a two-block in-memory buffer:
+// pushes and pops run in memory, and only when the buffer over- or
+// under-flows does one block move to or from disk. Both directions transfer
+// a whole block of B records, so any sequence of N operations costs at most
+// O(N/B) block transfers. The queue uses the same idea with separate head
+// and tail buffers.
+package extcoll
+
+import (
+	"errors"
+	"fmt"
+
+	"em/internal/pdm"
+	"em/internal/record"
+)
+
+// ErrClosed reports use of a closed collection.
+var ErrClosed = errors.New("extcoll: closed")
+
+// Stack is an external-memory LIFO of fixed-size records.
+type Stack[T any] struct {
+	vol    *pdm.Volume
+	pool   *pdm.Pool
+	codec  record.Codec[T]
+	per    int // records per block
+	buf    []T // in-memory top, at most 2·per records
+	blocks []int64
+	n      int64
+	closed bool
+}
+
+// NewStack creates an empty stack on vol. It holds two frames' worth of
+// records in memory (charged conceptually against the caller's budget; the
+// frames are materialised only during spill I/O so the pool stays free for
+// the caller between operations).
+func NewStack[T any](vol *pdm.Volume, pool *pdm.Pool, codec record.Codec[T]) (*Stack[T], error) {
+	per := vol.BlockBytes() / codec.Size()
+	if per < 1 {
+		return nil, fmt.Errorf("extcoll: record of %d bytes exceeds the %d-byte block", codec.Size(), vol.BlockBytes())
+	}
+	return &Stack[T]{vol: vol, pool: pool, codec: codec, per: per}, nil
+}
+
+// Len returns the number of records on the stack.
+func (s *Stack[T]) Len() int64 { return s.n }
+
+// Push adds v to the top of the stack: amortised O(1/B) I/Os. When the
+// two-block buffer fills, the older block spills to disk.
+func (s *Stack[T]) Push(v T) error {
+	if s.closed {
+		return ErrClosed
+	}
+	if len(s.buf) == 2*s.per {
+		if err := s.spill(); err != nil {
+			return err
+		}
+	}
+	s.buf = append(s.buf, v)
+	s.n++
+	return nil
+}
+
+// Pop removes and returns the top record. ok is false when the stack is
+// empty.
+func (s *Stack[T]) Pop() (v T, ok bool, err error) {
+	if s.closed {
+		return v, false, ErrClosed
+	}
+	if s.n == 0 {
+		return v, false, nil
+	}
+	if len(s.buf) == 0 {
+		if err := s.refill(); err != nil {
+			return v, false, err
+		}
+	}
+	v = s.buf[len(s.buf)-1]
+	s.buf = s.buf[:len(s.buf)-1]
+	s.n--
+	return v, true, nil
+}
+
+// Peek returns the top record without removing it.
+func (s *Stack[T]) Peek() (v T, ok bool, err error) {
+	v, ok, err = s.Pop()
+	if err != nil || !ok {
+		return v, ok, err
+	}
+	s.buf = s.buf[:len(s.buf)+1]
+	s.n++
+	return v, true, nil
+}
+
+// spill writes the oldest buffered block to disk.
+func (s *Stack[T]) spill() error {
+	fr, err := s.pool.Alloc()
+	if err != nil {
+		return err
+	}
+	defer fr.Release()
+	for i := 0; i < s.per; i++ {
+		s.codec.Encode(fr.Buf[i*s.codec.Size():], s.buf[i])
+	}
+	addr := s.vol.Alloc(1)
+	if err := s.vol.WriteBlock(addr, fr.Buf); err != nil {
+		return err
+	}
+	s.blocks = append(s.blocks, addr)
+	copy(s.buf, s.buf[s.per:])
+	s.buf = s.buf[:len(s.buf)-s.per]
+	return nil
+}
+
+// refill loads the most recently spilled block back into the buffer.
+func (s *Stack[T]) refill() error {
+	if len(s.blocks) == 0 {
+		return fmt.Errorf("extcoll: stack accounting corrupt (n=%d with no blocks)", s.n)
+	}
+	fr, err := s.pool.Alloc()
+	if err != nil {
+		return err
+	}
+	defer fr.Release()
+	addr := s.blocks[len(s.blocks)-1]
+	s.blocks = s.blocks[:len(s.blocks)-1]
+	if err := s.vol.ReadBlock(addr, fr.Buf); err != nil {
+		return err
+	}
+	s.vol.Free(addr)
+	for i := 0; i < s.per; i++ {
+		s.buf = append(s.buf, s.codec.Decode(fr.Buf[i*s.codec.Size():]))
+	}
+	return nil
+}
+
+// Close releases the stack's disk blocks.
+func (s *Stack[T]) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, b := range s.blocks {
+		s.vol.Free(b)
+	}
+	s.blocks = nil
+	s.buf = nil
+}
+
+// Queue is an external-memory FIFO of fixed-size records, with one block of
+// buffering at the head and one at the tail: amortised O(1/B) I/Os per
+// operation.
+type Queue[T any] struct {
+	vol    *pdm.Volume
+	pool   *pdm.Pool
+	codec  record.Codec[T]
+	per    int
+	head   []T     // records ready to pop, oldest first
+	tail   []T     // records recently pushed, oldest first
+	blocks []int64 // full blocks between head and tail, oldest first
+	n      int64
+	closed bool
+}
+
+// NewQueue creates an empty queue on vol.
+func NewQueue[T any](vol *pdm.Volume, pool *pdm.Pool, codec record.Codec[T]) (*Queue[T], error) {
+	per := vol.BlockBytes() / codec.Size()
+	if per < 1 {
+		return nil, fmt.Errorf("extcoll: record of %d bytes exceeds the %d-byte block", codec.Size(), vol.BlockBytes())
+	}
+	return &Queue[T]{vol: vol, pool: pool, codec: codec, per: per}, nil
+}
+
+// Len returns the number of records queued.
+func (q *Queue[T]) Len() int64 { return q.n }
+
+// Push appends v to the back of the queue.
+func (q *Queue[T]) Push(v T) error {
+	if q.closed {
+		return ErrClosed
+	}
+	q.tail = append(q.tail, v)
+	q.n++
+	if len(q.tail) == q.per {
+		return q.flushTail()
+	}
+	return nil
+}
+
+// Pop removes and returns the front record. ok is false when empty.
+func (q *Queue[T]) Pop() (v T, ok bool, err error) {
+	if q.closed {
+		return v, false, ErrClosed
+	}
+	if q.n == 0 {
+		return v, false, nil
+	}
+	if len(q.head) == 0 {
+		if len(q.blocks) > 0 {
+			if err := q.loadHead(); err != nil {
+				return v, false, err
+			}
+		} else {
+			// Everything lives in the tail buffer.
+			q.head, q.tail = q.tail, nil
+		}
+	}
+	v = q.head[0]
+	q.head = q.head[1:]
+	q.n--
+	return v, true, nil
+}
+
+// flushTail writes the full tail buffer as one block.
+func (q *Queue[T]) flushTail() error {
+	fr, err := q.pool.Alloc()
+	if err != nil {
+		return err
+	}
+	defer fr.Release()
+	for i, v := range q.tail {
+		q.codec.Encode(fr.Buf[i*q.codec.Size():], v)
+	}
+	addr := q.vol.Alloc(1)
+	if err := q.vol.WriteBlock(addr, fr.Buf); err != nil {
+		return err
+	}
+	q.blocks = append(q.blocks, addr)
+	q.tail = q.tail[:0]
+	return nil
+}
+
+// loadHead reads the oldest full block into the head buffer.
+func (q *Queue[T]) loadHead() error {
+	fr, err := q.pool.Alloc()
+	if err != nil {
+		return err
+	}
+	defer fr.Release()
+	addr := q.blocks[0]
+	q.blocks = q.blocks[1:]
+	if err := q.vol.ReadBlock(addr, fr.Buf); err != nil {
+		return err
+	}
+	q.vol.Free(addr)
+	q.head = q.head[:0]
+	for i := 0; i < q.per; i++ {
+		q.head = append(q.head, q.codec.Decode(fr.Buf[i*q.codec.Size():]))
+	}
+	return nil
+}
+
+// Close releases the queue's disk blocks.
+func (q *Queue[T]) Close() {
+	if q.closed {
+		return
+	}
+	q.closed = true
+	for _, b := range q.blocks {
+		q.vol.Free(b)
+	}
+	q.blocks = nil
+	q.head, q.tail = nil, nil
+}

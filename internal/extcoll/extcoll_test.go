@@ -1,0 +1,289 @@
+package extcoll
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"em/internal/pdm"
+	"em/internal/record"
+)
+
+func newEnv(t testing.TB) (*pdm.Volume, *pdm.Pool) {
+	t.Helper()
+	vol := pdm.MustVolume(pdm.Config{BlockBytes: 128, MemBlocks: 8, Disks: 1})
+	return vol, pdm.PoolFor(vol)
+}
+
+func TestStackLIFO(t *testing.T) {
+	vol, pool := newEnv(t)
+	s, err := NewStack(vol, pool, record.U64Codec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1000
+	for i := uint64(0); i < n; i++ {
+		if err := s.Push(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != n {
+		t.Fatalf("len = %d", s.Len())
+	}
+	for i := uint64(n); i > 0; i-- {
+		v, ok, err := s.Pop()
+		if err != nil || !ok {
+			t.Fatalf("pop: ok=%v err=%v", ok, err)
+		}
+		if v != i-1 {
+			t.Fatalf("pop = %d, want %d", v, i-1)
+		}
+	}
+	if _, ok, _ := s.Pop(); ok {
+		t.Fatal("pop on empty returned a value")
+	}
+	if pool.InUse() != 0 {
+		t.Fatalf("leaked %d frames", pool.InUse())
+	}
+}
+
+func TestStackPeek(t *testing.T) {
+	vol, pool := newEnv(t)
+	s, _ := NewStack(vol, pool, record.U64Codec{})
+	if _, ok, _ := s.Peek(); ok {
+		t.Fatal("peek on empty returned a value")
+	}
+	s.Push(7)
+	v, ok, err := s.Peek()
+	if err != nil || !ok || v != 7 {
+		t.Fatalf("peek = %d,%v,%v", v, ok, err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("peek consumed: len=%d", s.Len())
+	}
+}
+
+func TestStackMixedAgainstReference(t *testing.T) {
+	vol, pool := newEnv(t)
+	s, _ := NewStack(vol, pool, record.U64Codec{})
+	rng := rand.New(rand.NewSource(3))
+	var ref []uint64
+	for op := 0; op < 20000; op++ {
+		if rng.Intn(3) > 0 || len(ref) == 0 { // bias toward pushes
+			v := rng.Uint64()
+			ref = append(ref, v)
+			if err := s.Push(v); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			want := ref[len(ref)-1]
+			ref = ref[:len(ref)-1]
+			got, ok, err := s.Pop()
+			if err != nil || !ok || got != want {
+				t.Fatalf("op %d: pop = %d,%v,%v want %d", op, got, ok, err, want)
+			}
+		}
+		if s.Len() != int64(len(ref)) {
+			t.Fatalf("op %d: len %d != ref %d", op, s.Len(), len(ref))
+		}
+	}
+}
+
+func TestStackAmortizedIO(t *testing.T) {
+	// N pushes then N pops must cost O(N/B) I/Os: each record crosses the
+	// disk boundary at most once in each direction.
+	vol, pool := newEnv(t)
+	s, _ := NewStack(vol, pool, record.U64Codec{})
+	const n = 64_000
+	vol.Stats().Reset()
+	for i := uint64(0); i < n; i++ {
+		if err := s.Push(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if _, _, err := s.Pop(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	per := uint64(128 / 8)
+	bound := 2 * 2 * n / per // one write + one read per block, slack 2x
+	if got := vol.Stats().Total(); got > bound {
+		t.Fatalf("stack used %d I/Os for %d ops, amortised bound %d", got, 2*n, bound)
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	vol, pool := newEnv(t)
+	q, err := NewQueue(vol, pool, record.U64Codec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1000
+	for i := uint64(0); i < n; i++ {
+		if err := q.Push(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		v, ok, err := q.Pop()
+		if err != nil || !ok {
+			t.Fatalf("pop: ok=%v err=%v", ok, err)
+		}
+		if v != i {
+			t.Fatalf("pop = %d, want %d", v, i)
+		}
+	}
+	if _, ok, _ := q.Pop(); ok {
+		t.Fatal("pop on empty returned a value")
+	}
+}
+
+func TestQueueInterleavedAgainstReference(t *testing.T) {
+	vol, pool := newEnv(t)
+	q, _ := NewQueue(vol, pool, record.U64Codec{})
+	rng := rand.New(rand.NewSource(5))
+	var ref []uint64
+	for op := 0; op < 20000; op++ {
+		if rng.Intn(3) > 0 || len(ref) == 0 {
+			v := rng.Uint64()
+			ref = append(ref, v)
+			if err := q.Push(v); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			want := ref[0]
+			ref = ref[1:]
+			got, ok, err := q.Pop()
+			if err != nil || !ok || got != want {
+				t.Fatalf("op %d: pop = %d,%v,%v want %d", op, got, ok, err, want)
+			}
+		}
+		if q.Len() != int64(len(ref)) {
+			t.Fatalf("op %d: len %d != ref %d", op, q.Len(), len(ref))
+		}
+	}
+}
+
+func TestQueueAmortizedIO(t *testing.T) {
+	vol, pool := newEnv(t)
+	q, _ := NewQueue(vol, pool, record.U64Codec{})
+	const n = 64_000
+	vol.Stats().Reset()
+	for i := uint64(0); i < n; i++ {
+		if err := q.Push(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if _, _, err := q.Pop(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	per := uint64(128 / 8)
+	bound := 2 * 2 * n / per
+	if got := vol.Stats().Total(); got > bound {
+		t.Fatalf("queue used %d I/Os for %d ops, amortised bound %d", got, 2*n, bound)
+	}
+}
+
+func TestClosedCollectionsReject(t *testing.T) {
+	vol, pool := newEnv(t)
+	s, _ := NewStack(vol, pool, record.U64Codec{})
+	s.Push(1)
+	s.Close()
+	s.Close() // idempotent
+	if err := s.Push(2); err == nil {
+		t.Error("push on closed stack accepted")
+	}
+	if _, _, err := s.Pop(); err == nil {
+		t.Error("pop on closed stack accepted")
+	}
+	q, _ := NewQueue(vol, pool, record.U64Codec{})
+	q.Push(1)
+	q.Close()
+	if err := q.Push(2); err == nil {
+		t.Error("push on closed queue accepted")
+	}
+	if _, _, err := q.Pop(); err == nil {
+		t.Error("pop on closed queue accepted")
+	}
+}
+
+func TestRecordTooLarge(t *testing.T) {
+	vol := pdm.MustVolume(pdm.Config{BlockBytes: 8, MemBlocks: 4, Disks: 1})
+	pool := pdm.PoolFor(vol)
+	if _, err := NewStack(vol, pool, record.RecordCodec{}); err == nil {
+		t.Error("16-byte record in 8-byte block accepted by stack")
+	}
+	if _, err := NewQueue(vol, pool, record.RecordCodec{}); err == nil {
+		t.Error("16-byte record in 8-byte block accepted by queue")
+	}
+}
+
+// Property: any boolean op-sequence drives the stack and a slice reference
+// to identical observable states.
+func TestQuickStackMatchesSlice(t *testing.T) {
+	f := func(ops []bool, vals []uint64) bool {
+		vol := pdm.MustVolume(pdm.Config{BlockBytes: 64, MemBlocks: 4, Disks: 1})
+		pool := pdm.PoolFor(vol)
+		s, err := NewStack(vol, pool, record.U64Codec{})
+		if err != nil {
+			return false
+		}
+		var ref []uint64
+		vi := 0
+		for _, push := range ops {
+			if push || len(ref) == 0 {
+				v := uint64(vi)
+				if vi < len(vals) {
+					v = vals[vi]
+				}
+				vi++
+				ref = append(ref, v)
+				if err := s.Push(v); err != nil {
+					return false
+				}
+			} else {
+				want := ref[len(ref)-1]
+				ref = ref[:len(ref)-1]
+				got, ok, err := s.Pop()
+				if err != nil || !ok || got != want {
+					return false
+				}
+			}
+		}
+		return s.Len() == int64(len(ref))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the queue preserves order for arbitrary push bursts.
+func TestQuickQueuePreservesOrder(t *testing.T) {
+	f := func(vals []uint64) bool {
+		vol := pdm.MustVolume(pdm.Config{BlockBytes: 64, MemBlocks: 4, Disks: 1})
+		pool := pdm.PoolFor(vol)
+		q, err := NewQueue(vol, pool, record.U64Codec{})
+		if err != nil {
+			return false
+		}
+		for _, v := range vals {
+			if err := q.Push(v); err != nil {
+				return false
+			}
+		}
+		for _, want := range vals {
+			got, ok, err := q.Pop()
+			if err != nil || !ok || got != want {
+				return false
+			}
+		}
+		_, ok, _ := q.Pop()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

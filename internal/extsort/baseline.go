@@ -1,0 +1,49 @@
+package extsort
+
+import (
+	"em/internal/btree"
+	"em/internal/pdm"
+	"em/internal/record"
+	"em/internal/stream"
+)
+
+// SortViaBTree is the survey's strawman: sort by inserting every record into
+// a B-tree and then scanning the leaves. It costs Θ(N·log_B N) I/Os — worse
+// than Sort(N) by roughly a factor of B/log(M/B), the gap experiment T2
+// measures. Records must have distinct keys (values disambiguate ties by
+// packing, so callers should pre-mix duplicates if needed).
+//
+// cacheFrames bounds the B-tree buffer manager; the remaining pool frames
+// serve the input and output streams.
+func SortViaBTree(f *stream.File[record.Record], pool *pdm.Pool, cacheFrames int) (*stream.File[record.Record], error) {
+	t, err := btree.New(f.Vol(), pool, cacheFrames)
+	if err != nil {
+		return nil, err
+	}
+	err = stream.ForEach(f, pool, func(r record.Record) error {
+		_, err := t.Insert(r.Key, r.Val)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := stream.NewFile[record.Record](f.Vol(), f.Codec())
+	w, err := stream.NewWriter(out, pool)
+	if err != nil {
+		return nil, err
+	}
+	err = t.Range(0, ^uint64(0), func(k, v uint64) error {
+		return w.Append(record.Record{Key: k, Val: v})
+	})
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	if err := t.Close(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,67 @@
+package extsort
+
+import (
+	"testing"
+
+	"em/internal/pdm"
+	"em/internal/record"
+	"em/internal/stream"
+)
+
+func distinctRecs(n int) []record.Record {
+	// Distinct keys in scrambled order (multiplicative hash of the index).
+	out := make([]record.Record, n)
+	for i := range out {
+		out[i] = record.Record{Key: uint64(i) * 2654435761 % 1000003, Val: uint64(i)}
+	}
+	return out
+}
+
+func TestSortViaBTreeCorrect(t *testing.T) {
+	vol := pdm.MustVolume(pdm.Config{BlockBytes: 128, MemBlocks: 32, Disks: 1})
+	pool := pdm.PoolFor(vol)
+	in := distinctRecs(700)
+	f, err := stream.FromSlice(vol, pool, record.RecordCodec{}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := SortViaBTree(f, pool, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := IsSorted(out, pool, recLess)
+	if err != nil || !ok {
+		t.Fatalf("baseline output unsorted (%v)", err)
+	}
+	if out.Len() != f.Len() {
+		t.Fatalf("lost records: %d of %d", out.Len(), f.Len())
+	}
+	if pool.InUse() != 0 {
+		t.Fatalf("leaked %d frames", pool.InUse())
+	}
+}
+
+func TestBTreeSortLosesToMergeSort(t *testing.T) {
+	// The survey's headline comparison: Θ(N·log_B N) insertion sorting vs
+	// Θ((N/B)·log_m(N/B)) merge sorting.
+	vol := pdm.MustVolume(pdm.Config{BlockBytes: 256, MemBlocks: 32, Disks: 1})
+	pool := pdm.PoolFor(vol)
+	in := distinctRecs(4000)
+	f, err := stream.FromSlice(vol, pool, record.RecordCodec{}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol.Stats().Reset()
+	if _, err := MergeSort(f, pool, recLess, nil); err != nil {
+		t.Fatal(err)
+	}
+	mergeIO := vol.Stats().Total()
+	vol.Stats().Reset()
+	if _, err := SortViaBTree(f, pool, 8); err != nil {
+		t.Fatal(err)
+	}
+	btreeIO := vol.Stats().Total()
+	if btreeIO < 4*mergeIO {
+		t.Fatalf("B-tree sort (%d I/Os) should lose badly to merge sort (%d I/Os)", btreeIO, mergeIO)
+	}
+}

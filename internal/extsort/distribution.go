@@ -1,0 +1,203 @@
+package extsort
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"em/internal/pdm"
+	"em/internal/stream"
+)
+
+// DistributionSort sorts f by less into a new file using the survey's
+// distribution (bucket) sort: sample splitters, partition the input into
+// Θ(M/B) buckets in one pass, recurse on each bucket until it fits in
+// memory, then load-sort it. Like merge sort it performs Θ(n·log_m n) I/Os,
+// but passes data top-down through splitters instead of bottom-up through
+// merges.
+func DistributionSort[T any](f *stream.File[T], pool *pdm.Pool, less func(a, b T) bool, opts *Options) (*stream.File[T], error) {
+	w := opts.width()
+	out := stream.NewFile[T](f.Vol(), f.Codec())
+	ow, err := stream.NewStripedWriter(out, pool, w)
+	if err != nil {
+		return nil, err
+	}
+	d := &distSorter[T]{pool: pool, less: less, width: w, opts: opts, rng: rand.New(rand.NewSource(0x5EED))}
+	if err := d.sortInto(f, ow, false); err != nil {
+		ow.Close()
+		return nil, err
+	}
+	if err := ow.Close(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+type distSorter[T any] struct {
+	pool  *pdm.Pool
+	less  func(a, b T) bool
+	width int
+	opts  *Options
+	rng   *rand.Rand
+}
+
+// memRecords returns how many records fit in the frames left after reserving
+// reader and writer buffers.
+func (d *distSorter[T]) memRecords(f *stream.File[T]) int {
+	frames := d.pool.Free() - 2*d.width
+	if frames < 1 {
+		frames = 1
+	}
+	return frames * f.PerBlock()
+}
+
+// fanOut returns the number of buckets per level: one writer frame per
+// bucket plus a reader and the (already open) output writer.
+func (d *distSorter[T]) fanOut() int {
+	fo := d.pool.Free() - 2*d.width
+	if d.opts != nil && d.opts.ForceFanIn > 0 && d.opts.ForceFanIn < fo {
+		fo = d.opts.ForceFanIn
+	}
+	return fo
+}
+
+// sortInto writes the sorted contents of f to ow. If owned, f is released
+// once consumed.
+func (d *distSorter[T]) sortInto(f *stream.File[T], ow *stream.Writer[T], owned bool) error {
+	defer func() {
+		if owned {
+			f.Release()
+		}
+	}()
+	if f.Len() == 0 {
+		return nil
+	}
+	if f.Len() <= int64(d.memRecords(f)) {
+		return d.baseCase(f, ow)
+	}
+	fo := d.fanOut()
+	if fo < 2 {
+		return fmt.Errorf("%w: fan-out %d", ErrEmptyPool, fo)
+	}
+	splitters, err := d.sampleSplitters(f, fo-1)
+	if err != nil {
+		return err
+	}
+	buckets, err := d.partition(f, splitters)
+	if err != nil {
+		return err
+	}
+	for _, b := range buckets {
+		// A bucket equal to the whole input (all-equal keys defeat the
+		// splitters) must fall back to the base case to guarantee progress.
+		if b.Len() == f.Len() && b.Len() > int64(d.memRecords(f)) {
+			if err := d.fallbackMerge(b, ow); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := d.sortInto(b, ow, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// baseCase load-sorts a memory-sized file into ow.
+func (d *distSorter[T]) baseCase(f *stream.File[T], ow *stream.Writer[T]) error {
+	buf := make([]T, 0, f.Len())
+	if err := stream.ForEach(f, d.pool, func(v T) error {
+		buf = append(buf, v)
+		return nil
+	}); err != nil {
+		return err
+	}
+	sort.SliceStable(buf, func(i, j int) bool { return d.less(buf[i], buf[j]) })
+	for _, v := range buf {
+		if err := ow.Append(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fallbackMerge handles pathological all-equal buckets with a merge sort,
+// whose progress does not depend on key diversity. It writes sorted output
+// to ow and releases b.
+func (d *distSorter[T]) fallbackMerge(b *stream.File[T], ow *stream.Writer[T]) error {
+	sorted, err := MergeSort(b, d.pool, d.less, d.opts)
+	if err != nil {
+		return err
+	}
+	b.Release()
+	err = stream.ForEach(sorted, d.pool, func(v T) error { return ow.Append(v) })
+	sorted.Release()
+	return err
+}
+
+// sampleSplitters reservoir-samples the input and returns k approximate
+// quantile splitters. Costs one scan — asymptotically absorbed by the
+// partition pass that follows (the survey notes an O(n) sampling term).
+func (d *distSorter[T]) sampleSplitters(f *stream.File[T], k int) ([]T, error) {
+	sampleSize := 8 * (k + 1)
+	sample := make([]T, 0, sampleSize)
+	seen := 0
+	err := stream.ForEach(f, d.pool, func(v T) error {
+		seen++
+		if len(sample) < sampleSize {
+			sample = append(sample, v)
+		} else if j := d.rng.Intn(seen); j < sampleSize {
+			sample[j] = v
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(sample, func(i, j int) bool { return d.less(sample[i], sample[j]) })
+	splitters := make([]T, 0, k)
+	for i := 1; i <= k; i++ {
+		splitters = append(splitters, sample[i*len(sample)/(k+1)])
+	}
+	return splitters, nil
+}
+
+// partition splits f into len(splitters)+1 bucket files in one pass. Bucket
+// i receives records v with splitters[i-1] <= v < splitters[i] (boundary
+// records with equal keys go to the leftmost eligible bucket).
+func (d *distSorter[T]) partition(f *stream.File[T], splitters []T) ([]*stream.File[T], error) {
+	nb := len(splitters) + 1
+	buckets := make([]*stream.File[T], nb)
+	writers := make([]*stream.Writer[T], nb)
+	closeAll := func() {
+		for _, w := range writers {
+			if w != nil {
+				w.Close()
+			}
+		}
+	}
+	for i := range buckets {
+		buckets[i] = stream.NewFile[T](f.Vol(), f.Codec())
+		w, err := stream.NewWriter(buckets[i], d.pool)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		writers[i] = w
+	}
+	err := stream.ForEach(f, d.pool, func(v T) error {
+		// Binary search for the first splitter greater than v.
+		i := sort.Search(len(splitters), func(i int) bool { return d.less(v, splitters[i]) })
+		return writers[i].Append(v)
+	})
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	for _, w := range writers {
+		if err := w.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return buckets, nil
+}

@@ -1,0 +1,504 @@
+// Package extsort implements the survey's two optimal external sorting
+// paradigms — multiway merge sort and distribution sort — plus the run
+// formation techniques (load-sort and replacement selection) and the
+// Θ(N·log_B N) B-tree-insertion strawman they are compared against.
+//
+// Both optimal sorts perform Θ(n·log_m n) I/Os where n = N/B blocks and
+// m = M/B memory blocks: one pass to form Θ(N/M) initial runs or buckets,
+// then ⌈log_m(N/M)⌉ passes of (M/B)-way merging or splitting. All buffers
+// come from a pdm.Pool, so the memory bound M is enforced, and all I/O flows
+// through pdm counters, so the claimed pass structure is directly observable.
+package extsort
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+
+	"em/internal/pdm"
+	"em/internal/stream"
+)
+
+// ErrEmptyPool reports that the pool cannot support even the minimal
+// reader/writer configuration.
+var ErrEmptyPool = errors.New("extsort: pool too small for external sort")
+
+// RunMode selects the run-formation technique.
+type RunMode int
+
+const (
+	// LoadSort fills memory, sorts, and writes a run of exactly M records.
+	LoadSort RunMode = iota
+	// ReplacementSelection streams through an M-record tournament heap,
+	// producing runs of expected length 2M on random input and a single run
+	// on already-sorted input.
+	ReplacementSelection
+)
+
+// String names the run mode.
+func (m RunMode) String() string {
+	switch m {
+	case LoadSort:
+		return "load-sort"
+	case ReplacementSelection:
+		return "replacement-selection"
+	default:
+		return fmt.Sprintf("RunMode(%d)", int(m))
+	}
+}
+
+// Options tunes an external sort.
+type Options struct {
+	// Width is the striping width used by all readers and writers; set it to
+	// the volume's disk count D to enable disk striping. Zero means 1.
+	Width int
+	// RunMode selects the run-formation technique for merge sort.
+	RunMode RunMode
+	// ForceFanIn caps the merge fan-in (or distribution fan-out) below what
+	// the pool would allow; zero means use the maximum. Experiments use it
+	// to sweep the effective M/B.
+	ForceFanIn int
+}
+
+func (o *Options) width() int {
+	if o == nil || o.Width < 1 {
+		return 1
+	}
+	return o.Width
+}
+
+func (o *Options) runMode() RunMode {
+	if o == nil {
+		return LoadSort
+	}
+	return o.RunMode
+}
+
+// MergeSort sorts f by less into a new file using multiway external merge
+// sort. The input file is not modified.
+func MergeSort[T any](f *stream.File[T], pool *pdm.Pool, less func(a, b T) bool, opts *Options) (*stream.File[T], error) {
+	runs, err := FormRuns(f, pool, less, opts)
+	if err != nil {
+		return nil, err
+	}
+	out, err := MergeRuns(runs, pool, less, opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range runs {
+		if r != out {
+			r.Release()
+		}
+	}
+	return out, nil
+}
+
+// FormRuns performs the run-formation pass, returning sorted runs whose
+// concatenation is a permutation of f.
+func FormRuns[T any](f *stream.File[T], pool *pdm.Pool, less func(a, b T) bool, opts *Options) ([]*stream.File[T], error) {
+	if opts.runMode() == ReplacementSelection {
+		return formRunsReplacement(f, pool, less, opts)
+	}
+	return formRunsLoadSort(f, pool, less, opts)
+}
+
+// formRunsLoadSort fills memory, sorts, writes, repeats. Each run holds
+// exactly memRecords records except the last.
+func formRunsLoadSort[T any](f *stream.File[T], pool *pdm.Pool, less func(a, b T) bool, opts *Options) ([]*stream.File[T], error) {
+	w := opts.width()
+	// Reserve frames: reader (w) + writer (w); the rest hold the run buffer.
+	bufFrames := pool.Free() - 2*w
+	if bufFrames < 1 {
+		return nil, fmt.Errorf("%w: %d frames free, need > %d", ErrEmptyPool, pool.Free(), 2*w)
+	}
+	reserve, err := pool.AllocN(bufFrames)
+	if err != nil {
+		return nil, err
+	}
+	defer pdm.ReleaseAll(reserve)
+	memRecords := bufFrames * f.PerBlock()
+
+	r, err := stream.NewStripedReader(f, pool, w)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+
+	var runs []*stream.File[T]
+	buf := make([]T, 0, memRecords)
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		sort.SliceStable(buf, func(i, j int) bool { return less(buf[i], buf[j]) })
+		run := stream.NewFile[T](f.Vol(), f.Codec())
+		rw, err := stream.NewStripedWriter(run, pool, w)
+		if err != nil {
+			return err
+		}
+		for _, v := range buf {
+			if err := rw.Append(v); err != nil {
+				rw.Close()
+				return err
+			}
+		}
+		if err := rw.Close(); err != nil {
+			return err
+		}
+		runs = append(runs, run)
+		buf = buf[:0]
+		return nil
+	}
+	for {
+		v, ok, err := r.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		buf = append(buf, v)
+		if len(buf) == memRecords {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	if len(runs) == 0 {
+		runs = append(runs, stream.NewFile[T](f.Vol(), f.Codec()))
+	}
+	return runs, nil
+}
+
+// rsItem is a replacement-selection heap entry: run-generation first, then
+// the record ordering.
+type rsItem[T any] struct {
+	gen int
+	v   T
+}
+
+type rsHeap[T any] struct {
+	items []rsItem[T]
+	less  func(a, b T) bool
+}
+
+func (h *rsHeap[T]) Len() int { return len(h.items) }
+func (h *rsHeap[T]) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.gen != b.gen {
+		return a.gen < b.gen
+	}
+	return h.less(a.v, b.v)
+}
+func (h *rsHeap[T]) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *rsHeap[T]) Push(x interface{}) { h.items = append(h.items, x.(rsItem[T])) }
+func (h *rsHeap[T]) Pop() interface{} {
+	n := len(h.items)
+	it := h.items[n-1]
+	h.items = h.items[:n-1]
+	return it
+}
+
+// formRunsReplacement streams the input through an M-record tournament,
+// emitting the smallest element that can still extend the current run. On
+// random input the expected run length is 2M (the survey's "snowplow"
+// argument); on sorted input it produces a single run.
+func formRunsReplacement[T any](f *stream.File[T], pool *pdm.Pool, less func(a, b T) bool, opts *Options) ([]*stream.File[T], error) {
+	w := opts.width()
+	bufFrames := pool.Free() - 2*w
+	if bufFrames < 1 {
+		return nil, fmt.Errorf("%w: %d frames free, need > %d", ErrEmptyPool, pool.Free(), 2*w)
+	}
+	reserve, err := pool.AllocN(bufFrames)
+	if err != nil {
+		return nil, err
+	}
+	defer pdm.ReleaseAll(reserve)
+	memRecords := bufFrames * f.PerBlock()
+
+	r, err := stream.NewStripedReader(f, pool, w)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+
+	h := &rsHeap[T]{less: less}
+	// Prime the heap with up to M records, all in generation 0.
+	for len(h.items) < memRecords {
+		v, ok, err := r.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		h.items = append(h.items, rsItem[T]{gen: 0, v: v})
+	}
+	heap.Init(h)
+
+	var runs []*stream.File[T]
+	var cur *stream.File[T]
+	var cw *stream.Writer[T]
+	curGen := 0
+	openRun := func() error {
+		cur = stream.NewFile[T](f.Vol(), f.Codec())
+		var err error
+		cw, err = stream.NewStripedWriter(cur, pool, w)
+		return err
+	}
+	closeRun := func() error {
+		if cw == nil {
+			return nil
+		}
+		if err := cw.Close(); err != nil {
+			return err
+		}
+		runs = append(runs, cur)
+		cur, cw = nil, nil
+		return nil
+	}
+
+	for h.Len() > 0 {
+		it := heap.Pop(h).(rsItem[T])
+		if cw == nil || it.gen != curGen {
+			if err := closeRun(); err != nil {
+				return nil, err
+			}
+			curGen = it.gen
+			if err := openRun(); err != nil {
+				return nil, err
+			}
+		}
+		if err := cw.Append(it.v); err != nil {
+			return nil, err
+		}
+		// Refill from input: the incoming record joins the current run if it
+		// is not smaller than the record just emitted, else the next run.
+		nv, ok, err := r.Next()
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			gen := curGen
+			if less(nv, it.v) {
+				gen = curGen + 1
+			}
+			heap.Push(h, rsItem[T]{gen: gen, v: nv})
+		}
+	}
+	if err := closeRun(); err != nil {
+		return nil, err
+	}
+	if len(runs) == 0 {
+		runs = append(runs, stream.NewFile[T](f.Vol(), f.Codec()))
+	}
+	return runs, nil
+}
+
+// MaxFanIn returns the merge fan-in the pool supports at the given striping
+// width. Disk striping treats a group of width blocks as one logical block,
+// so each input run needs width frames and the fan-in drops from m to
+// roughly m/D — exactly the suboptimality factor the survey attributes to
+// striped merge sort.
+func MaxFanIn(pool *pdm.Pool, width int) int {
+	return (pool.Free() - width) / width
+}
+
+// MergeRuns repeatedly merges sorted runs fan-in at a time until one remains.
+// The total cost is one read+write of the data per merge level, i.e.
+// ⌈log_fanin(#runs)⌉ passes.
+func MergeRuns[T any](runs []*stream.File[T], pool *pdm.Pool, less func(a, b T) bool, opts *Options) (*stream.File[T], error) {
+	if len(runs) == 0 {
+		return nil, errors.New("extsort: MergeRuns with no runs")
+	}
+	w := opts.width()
+	fanin := MaxFanIn(pool, w)
+	if opts != nil && opts.ForceFanIn > 0 && opts.ForceFanIn < fanin {
+		fanin = opts.ForceFanIn
+	}
+	if fanin < 2 {
+		return nil, fmt.Errorf("%w: fan-in %d", ErrEmptyPool, fanin)
+	}
+	level := runs
+	for len(level) > 1 {
+		var next []*stream.File[T]
+		for lo := 0; lo < len(level); lo += fanin {
+			hi := lo + fanin
+			if hi > len(level) {
+				hi = len(level)
+			}
+			merged, err := mergeOnce(level[lo:hi], pool, less, w)
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range level[lo:hi] {
+				r.Release()
+			}
+			next = append(next, merged)
+		}
+		level = next
+	}
+	return level[0], nil
+}
+
+// mergeItem is a k-way merge heap entry.
+type mergeItem[T any] struct {
+	v   T
+	src int
+}
+
+type mergeHeap[T any] struct {
+	items []mergeItem[T]
+	less  func(a, b T) bool
+}
+
+func (h *mergeHeap[T]) Len() int           { return len(h.items) }
+func (h *mergeHeap[T]) Less(i, j int) bool { return h.less(h.items[i].v, h.items[j].v) }
+func (h *mergeHeap[T]) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *mergeHeap[T]) Push(x interface{}) { h.items = append(h.items, x.(mergeItem[T])) }
+func (h *mergeHeap[T]) Pop() interface{} {
+	n := len(h.items)
+	it := h.items[n-1]
+	h.items = h.items[:n-1]
+	return it
+}
+
+// mergeOnce merges the given sorted runs into one sorted file in a single
+// pass: one width-w reader per run plus one width-w writer.
+func mergeOnce[T any](runs []*stream.File[T], pool *pdm.Pool, less func(a, b T) bool, width int) (*stream.File[T], error) {
+	if len(runs) == 1 {
+		// Copy-through keeps ownership semantics uniform (caller releases
+		// inputs), at the cost of one extra pass on odd tails.
+		return copyFile(runs[0], pool, width)
+	}
+	vol := runs[0].Vol()
+	out := stream.NewFile[T](vol, runs[0].Codec())
+	ow, err := stream.NewStripedWriter(out, pool, width)
+	if err != nil {
+		return nil, err
+	}
+	readers := make([]*stream.Reader[T], len(runs))
+	defer func() {
+		for _, r := range readers {
+			if r != nil {
+				r.Close()
+			}
+		}
+	}()
+	h := &mergeHeap[T]{less: less}
+	for i, run := range runs {
+		r, err := stream.NewStripedReader(run, pool, width)
+		if err != nil {
+			ow.Close()
+			return nil, err
+		}
+		readers[i] = r
+		v, ok, err := r.Next()
+		if err != nil {
+			ow.Close()
+			return nil, err
+		}
+		if ok {
+			h.items = append(h.items, mergeItem[T]{v: v, src: i})
+		}
+	}
+	heap.Init(h)
+	for h.Len() > 0 {
+		it := h.items[0]
+		if err := ow.Append(it.v); err != nil {
+			ow.Close()
+			return nil, err
+		}
+		v, ok, err := readers[it.src].Next()
+		if err != nil {
+			ow.Close()
+			return nil, err
+		}
+		if ok {
+			h.items[0] = mergeItem[T]{v: v, src: it.src}
+			heap.Fix(h, 0)
+		} else {
+			heap.Pop(h)
+		}
+	}
+	if err := ow.Close(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// copyFile copies src into a fresh file.
+func copyFile[T any](src *stream.File[T], pool *pdm.Pool, width int) (*stream.File[T], error) {
+	dst := stream.NewFile[T](src.Vol(), src.Codec())
+	w, err := stream.NewStripedWriter(dst, pool, width)
+	if err != nil {
+		return nil, err
+	}
+	r, err := stream.NewStripedReader(src, pool, width)
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
+	defer r.Close()
+	for {
+		v, ok, err := r.Next()
+		if err != nil {
+			w.Close()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if err := w.Append(v); err != nil {
+			w.Close()
+			return nil, err
+		}
+	}
+	return dst, w.Close()
+}
+
+// IsSorted scans f and reports whether it is ordered by less.
+func IsSorted[T any](f *stream.File[T], pool *pdm.Pool, less func(a, b T) bool) (bool, error) {
+	r, err := stream.NewReader(f, pool)
+	if err != nil {
+		return false, err
+	}
+	defer r.Close()
+	var prev T
+	first := true
+	for {
+		v, ok, err := r.Next()
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return true, nil
+		}
+		if !first && less(v, prev) {
+			return false, nil
+		}
+		prev = v
+		first = false
+	}
+}
+
+// MergePassCount returns the number of merge passes ⌈log_fanin(runs)⌉ the
+// merge phase performs — the quantity plotted in experiment F1.
+func MergePassCount(runs, fanin int) int {
+	if runs <= 1 {
+		return 0
+	}
+	if fanin < 2 {
+		return -1
+	}
+	passes := 0
+	for runs > 1 {
+		runs = (runs + fanin - 1) / fanin
+		passes++
+	}
+	return passes
+}

@@ -1,0 +1,332 @@
+package fft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"em/internal/pdm"
+	"em/internal/stream"
+)
+
+func newEnv(t testing.TB, memBlocks int) (*pdm.Volume, *pdm.Pool) {
+	t.Helper()
+	vol := pdm.MustVolume(pdm.Config{BlockBytes: 256, MemBlocks: memBlocks, Disks: 1})
+	return vol, pdm.PoolFor(vol)
+}
+
+// dftRef is the O(N²) definition of the DFT, the ground truth.
+func dftRef(x []Complex, sign float64) []Complex {
+	n := len(x)
+	out := make([]Complex, n)
+	for k := 0; k < n; k++ {
+		var acc Complex
+		for m := 0; m < n; m++ {
+			acc = acc.Add(x[m].Mul(twiddle(int64(m*k%n), int64(n), sign)))
+		}
+		out[k] = acc
+	}
+	return out
+}
+
+func randomSignal(rng *rand.Rand, n int) []Complex {
+	x := make([]Complex, n)
+	for i := range x {
+		x[i] = Complex{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	return x
+}
+
+func maxErr(a, b []Complex) float64 {
+	m := 0.0
+	for i := range a {
+		m = math.Max(m, math.Abs(a[i].Re-b[i].Re))
+		m = math.Max(m, math.Abs(a[i].Im-b[i].Im))
+	}
+	return m
+}
+
+func TestComplexCodecRoundTrip(t *testing.T) {
+	c := ComplexCodec{}
+	f := func(re, im float64) bool {
+		b := make([]byte, c.Size())
+		c.Encode(b, Complex{re, im})
+		got := c.Decode(b)
+		return got == Complex{re, im}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComplexArithmetic(t *testing.T) {
+	a, b := Complex{1, 2}, Complex{3, -1}
+	if got := a.Add(b); got != (Complex{4, 1}) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != (Complex{-2, 3}) {
+		t.Fatalf("Sub = %v", got)
+	}
+	// (1+2i)(3-i) = 3 - i + 6i - 2i² = 5 + 5i
+	if got := a.Mul(b); got != (Complex{5, 5}) {
+		t.Fatalf("Mul = %v", got)
+	}
+}
+
+func TestInMemoryMatchesDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 2, 4, 8, 32, 128} {
+		x := randomSignal(rng, n)
+		want := dftRef(x, -1)
+		got := append([]Complex(nil), x...)
+		if err := InMemory(got, -1); err != nil {
+			t.Fatal(err)
+		}
+		if e := maxErr(got, want); e > 1e-9 {
+			t.Fatalf("n=%d: max error %g", n, e)
+		}
+	}
+}
+
+func TestInMemoryRejectsNonPowerOfTwo(t *testing.T) {
+	if err := InMemory(make([]Complex, 12), -1); err == nil {
+		t.Fatal("length 12 accepted")
+	}
+}
+
+func TestExternalMatchesDefinitionSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{2, 4, 16, 64, 256} {
+		vol, pool := newEnv(t, 12)
+		x := randomSignal(rng, n)
+		f, err := stream.FromSlice(vol, pool, ComplexCodec{}, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := Forward(f, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := stream.ToSlice(out, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := dftRef(x, -1)
+		if e := maxErr(got, want); e > 1e-8 {
+			t.Fatalf("n=%d: max error %g", n, e)
+		}
+		if pool.InUse() != 0 {
+			t.Fatalf("leaked %d frames", pool.InUse())
+		}
+	}
+}
+
+func TestExternalMatchesInMemoryLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 1 << 12
+	vol, pool := newEnv(t, 16) // memory: 16 blocks · 16 records = 256 ≥ √N = 64
+	x := randomSignal(rng, n)
+	f, err := stream.FromSlice(vol, pool, ComplexCodec{}, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Forward(f, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := stream.ToSlice(out, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]Complex(nil), x...)
+	if err := InMemory(want, -1); err != nil {
+		t.Fatal(err)
+	}
+	if e := maxErr(got, want); e > 1e-7 {
+		t.Fatalf("max error %g", e)
+	}
+}
+
+func TestForwardInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 1 << 10
+	vol, pool := newEnv(t, 16)
+	x := randomSignal(rng, n)
+	f, err := stream.FromSlice(vol, pool, ComplexCodec{}, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := Forward(f, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Inverse(fw, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := stream.ToSlice(back, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := maxErr(got, x); e > 1e-9 {
+		t.Fatalf("round trip error %g", e)
+	}
+}
+
+func TestParseval(t *testing.T) {
+	// Σ|x|² = (1/N)·Σ|X|², a global invariant that catches twiddle bugs.
+	rng := rand.New(rand.NewSource(9))
+	n := 1 << 8
+	vol, pool := newEnv(t, 12)
+	x := randomSignal(rng, n)
+	f, _ := stream.FromSlice(vol, pool, ComplexCodec{}, x)
+	out, err := Forward(f, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	X, _ := stream.ToSlice(out, pool)
+	var ex, eX float64
+	for i := range x {
+		ex += x[i].Re*x[i].Re + x[i].Im*x[i].Im
+		eX += X[i].Re*X[i].Re + X[i].Im*X[i].Im
+	}
+	if math.Abs(ex-eX/float64(n)) > 1e-6*ex {
+		t.Fatalf("Parseval violated: %g vs %g", ex, eX/float64(n))
+	}
+}
+
+func TestImpulseAndConstant(t *testing.T) {
+	vol, pool := newEnv(t, 12)
+	n := 64
+	// Impulse -> flat spectrum of ones.
+	imp := make([]Complex, n)
+	imp[0] = Complex{1, 0}
+	f, _ := stream.FromSlice(vol, pool, ComplexCodec{}, imp)
+	out, err := Forward(f, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	X, _ := stream.ToSlice(out, pool)
+	for k, v := range X {
+		if math.Abs(v.Re-1) > 1e-9 || math.Abs(v.Im) > 1e-9 {
+			t.Fatalf("impulse spectrum[%d] = %v", k, v)
+		}
+	}
+	// Constant -> impulse at DC of height n.
+	con := make([]Complex, n)
+	for i := range con {
+		con[i] = Complex{1, 0}
+	}
+	f2, _ := stream.FromSlice(vol, pool, ComplexCodec{}, con)
+	out2, err := Forward(f2, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	X2, _ := stream.ToSlice(out2, pool)
+	if math.Abs(X2[0].Re-float64(n)) > 1e-9 {
+		t.Fatalf("DC = %v, want %d", X2[0], n)
+	}
+	for k := 1; k < n; k++ {
+		if math.Abs(X2[k].Re) > 1e-9 || math.Abs(X2[k].Im) > 1e-9 {
+			t.Fatalf("constant spectrum[%d] = %v, want 0", k, X2[k])
+		}
+	}
+}
+
+func TestTransformRejectsBadInput(t *testing.T) {
+	vol, pool := newEnv(t, 12)
+	rng := rand.New(rand.NewSource(11))
+	f, _ := stream.FromSlice(vol, pool, ComplexCodec{}, randomSignal(rng, 12))
+	if _, err := Forward(f, pool); err == nil {
+		t.Error("length 12 accepted")
+	}
+	// √N beyond memory must be rejected, not silently spilled.
+	tiny := pdm.NewPool(256, 3)
+	big, _ := stream.FromSlice(vol, pool, ComplexCodec{}, randomSignal(rng, 1<<12))
+	if _, err := Transform(big, tiny, -1); err == nil {
+		t.Error("√N > M accepted")
+	}
+}
+
+func TestNaiveStagesMatchesDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	vol, pool := newEnv(t, 12)
+	n := 64
+	x := randomSignal(rng, n)
+	f, _ := stream.FromSlice(vol, pool, ComplexCodec{}, x)
+	out, err := NaiveStages(f, pool, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := stream.ToSlice(out, pool)
+	want := dftRef(x, -1)
+	if e := maxErr(got, want); e > 1e-9 {
+		t.Fatalf("max error %g", e)
+	}
+}
+
+func TestSixStepBeatsNaiveOnIOs(t *testing.T) {
+	// The F7 shape: six-step ≈ Sort(N) ≪ naive butterflies Θ(N log N).
+	rng := rand.New(rand.NewSource(15))
+	n := 1 << 10
+	x := randomSignal(rng, n)
+
+	vol, pool := newEnv(t, 16)
+	f, _ := stream.FromSlice(vol, pool, ComplexCodec{}, x)
+	vol.Stats().Reset()
+	out, err := Forward(f, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sixIOs := vol.Stats().Total()
+	out.Release()
+
+	vol2, pool2 := newEnv(t, 16)
+	f2, _ := stream.FromSlice(vol2, pool2, ComplexCodec{}, x)
+	vol2.Stats().Reset()
+	out2, err := NaiveStages(f2, pool2, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naiveIOs := vol2.Stats().Total()
+	out2.Release()
+
+	if sixIOs*10 > naiveIOs {
+		t.Fatalf("six-step %d I/Os vs naive %d: expected ≥10x advantage", sixIOs, naiveIOs)
+	}
+	t.Logf("six-step=%d naive=%d (%.0fx)", sixIOs, naiveIOs, float64(naiveIOs)/float64(sixIOs))
+}
+
+// Property: forward-then-inverse is the identity for arbitrary signals and
+// power-of-two sizes.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		k := int(kRaw) % 9 // n up to 256
+		n := 1 << k
+		rng := rand.New(rand.NewSource(seed))
+		x := randomSignal(rng, n)
+		vol := pdm.MustVolume(pdm.Config{BlockBytes: 256, MemBlocks: 12, Disks: 1})
+		pool := pdm.PoolFor(vol)
+		ff, err := stream.FromSlice(vol, pool, ComplexCodec{}, x)
+		if err != nil {
+			return false
+		}
+		fw, err := Forward(ff, pool)
+		if err != nil {
+			return false
+		}
+		back, err := Inverse(fw, pool)
+		if err != nil {
+			return false
+		}
+		got, err := stream.ToSlice(back, pool)
+		if err != nil {
+			return false
+		}
+		return maxErr(got, x) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,287 @@
+// Package hashing implements extendible hashing, the survey's external
+// hashing scheme: point lookups in one block I/O (plus a directory probe
+// that stays in memory), inserts in O(1) expected I/Os, with bucket splits
+// that double only the in-memory directory, never rehashing the whole file.
+package hashing
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"em/internal/cache"
+	"em/internal/pdm"
+)
+
+// ErrFull reports a pathological split cascade: all keys in an over-full
+// bucket share so many hash bits that the directory would exceed its bound.
+var ErrFull = errors.New("hashing: bucket split cascade exceeded directory limit")
+
+// maxGlobalDepth bounds the in-memory directory at 2^24 entries.
+const maxGlobalDepth = 24
+
+// Bucket block layout (little-endian):
+//
+//	off 0 uint16 localDepth
+//	off 2 uint16 count
+//	off 8 count × (key uint64, val uint64)
+const (
+	offDepth   = 0
+	offCount   = 2
+	offEntries = 8
+)
+
+// Table is an extendible hash table mapping uint64 keys to uint64 values.
+// The directory lives in memory (its size is Θ(N/B) pointers, the usual
+// assumption); buckets live on the volume behind a pinning cache.
+type Table struct {
+	vol     *pdm.Volume
+	cache   *cache.Cache
+	dir     []int64
+	global  uint
+	bCap    int
+	n       int64
+	splits  int
+	doubles int
+}
+
+// New creates an empty table with a one-bucket directory.
+func New(vol *pdm.Volume, pool *pdm.Pool, cacheFrames int) (*Table, error) {
+	bCap := (vol.BlockBytes() - offEntries) / 16
+	if bCap < 2 {
+		return nil, fmt.Errorf("hashing: block of %d bytes holds %d entries, need >= 2", vol.BlockBytes(), bCap)
+	}
+	if cacheFrames < 2 {
+		return nil, fmt.Errorf("hashing: cache needs >= 2 frames, got %d", cacheFrames)
+	}
+	c, err := cache.New(vol, pool, cacheFrames)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{vol: vol, cache: c, bCap: bCap}
+	p, err := t.newBucket(0)
+	if err != nil {
+		return nil, err
+	}
+	t.dir = []int64{p.Addr()}
+	c.Unpin(p)
+	return t, nil
+}
+
+// Close flushes and releases the bucket cache.
+func (t *Table) Close() error { return t.cache.Close() }
+
+// Len returns the number of stored keys.
+func (t *Table) Len() int64 { return t.n }
+
+// GlobalDepth returns the directory's depth (directory size is 2^depth).
+func (t *Table) GlobalDepth() uint { return t.global }
+
+// Splits returns the number of bucket splits performed.
+func (t *Table) Splits() int { return t.splits }
+
+// DirectoryDoubles returns how many times the directory doubled.
+func (t *Table) DirectoryDoubles() int { return t.doubles }
+
+// mix is the splitmix64 finaliser, giving well-distributed hash bits even
+// for sequential keys.
+func mix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+func (t *Table) slot(key uint64) int {
+	if t.global == 0 {
+		return 0
+	}
+	return int(mix(key) & ((1 << t.global) - 1))
+}
+
+func depth(p *cache.Page) uint { return uint(binary.LittleEndian.Uint16(p.Buf[offDepth:])) }
+func setDepth(p *cache.Page, d uint) {
+	binary.LittleEndian.PutUint16(p.Buf[offDepth:], uint16(d))
+	p.MarkDirty()
+}
+func count(p *cache.Page) int { return int(binary.LittleEndian.Uint16(p.Buf[offCount:])) }
+func setCount(p *cache.Page, n int) {
+	binary.LittleEndian.PutUint16(p.Buf[offCount:], uint16(n))
+	p.MarkDirty()
+}
+func entryKey(p *cache.Page, i int) uint64 {
+	return binary.LittleEndian.Uint64(p.Buf[offEntries+16*i:])
+}
+func entryVal(p *cache.Page, i int) uint64 {
+	return binary.LittleEndian.Uint64(p.Buf[offEntries+16*i+8:])
+}
+func setEntry(p *cache.Page, i int, k, v uint64) {
+	binary.LittleEndian.PutUint64(p.Buf[offEntries+16*i:], k)
+	binary.LittleEndian.PutUint64(p.Buf[offEntries+16*i+8:], v)
+	p.MarkDirty()
+}
+
+func (t *Table) newBucket(d uint) (*cache.Page, error) {
+	addr := t.vol.Alloc(1)
+	p, err := t.cache.GetNew(addr)
+	if err != nil {
+		return nil, err
+	}
+	setDepth(p, d)
+	setCount(p, 0)
+	return p, nil
+}
+
+// find returns the index of key in bucket p, or -1.
+func find(p *cache.Page, key uint64) int {
+	n := count(p)
+	for i := 0; i < n; i++ {
+		if entryKey(p, i) == key {
+			return i
+		}
+	}
+	return -1
+}
+
+// Get returns the value stored under key: one bucket I/O.
+func (t *Table) Get(key uint64) (uint64, bool, error) {
+	p, err := t.cache.Get(t.dir[t.slot(key)])
+	if err != nil {
+		return 0, false, err
+	}
+	defer t.cache.Unpin(p)
+	if i := find(p, key); i >= 0 {
+		return entryVal(p, i), true, nil
+	}
+	return 0, false, nil
+}
+
+// Insert stores value under key, overwriting any existing value; it reports
+// whether the key was new.
+func (t *Table) Insert(key, val uint64) (bool, error) {
+	for attempt := 0; ; attempt++ {
+		if attempt > maxGlobalDepth+1 {
+			return false, ErrFull
+		}
+		addr := t.dir[t.slot(key)]
+		p, err := t.cache.Get(addr)
+		if err != nil {
+			return false, err
+		}
+		if i := find(p, key); i >= 0 {
+			setEntry(p, i, key, val)
+			t.cache.Unpin(p)
+			return false, nil
+		}
+		if n := count(p); n < t.bCap {
+			setEntry(p, n, key, val)
+			setCount(p, n+1)
+			t.cache.Unpin(p)
+			t.n++
+			return true, nil
+		}
+		// Bucket full: split and retry.
+		if err := t.split(p); err != nil {
+			t.cache.Unpin(p)
+			return false, err
+		}
+		t.cache.Unpin(p)
+	}
+}
+
+// split divides an over-full bucket by one more hash bit, doubling the
+// directory when the bucket's local depth equals the global depth.
+func (t *Table) split(p *cache.Page) error {
+	d := depth(p)
+	if d == t.global {
+		if t.global >= maxGlobalDepth {
+			return ErrFull
+		}
+		// Double the directory; new halves mirror the old pointers.
+		t.dir = append(t.dir, t.dir...)
+		t.global++
+		t.doubles++
+	}
+	newP, err := t.newBucket(d + 1)
+	if err != nil {
+		return err
+	}
+	defer t.cache.Unpin(newP)
+	setDepth(p, d+1)
+	// Redistribute: entries whose (d)'th hash bit is 1 move to the new
+	// bucket.
+	bit := uint64(1) << d
+	keep := 0
+	moved := 0
+	n := count(p)
+	for i := 0; i < n; i++ {
+		k, v := entryKey(p, i), entryVal(p, i)
+		if mix(k)&bit != 0 {
+			setEntry(newP, moved, k, v)
+			moved++
+		} else {
+			if keep != i {
+				setEntry(p, keep, k, v)
+			}
+			keep++
+		}
+	}
+	setCount(p, keep)
+	setCount(newP, moved)
+	t.splits++
+	// Repoint directory entries: among the slots that referenced the old
+	// bucket, those with bit d set now point at the new bucket.
+	oldAddr := p.Addr()
+	for s := range t.dir {
+		if t.dir[s] == oldAddr && uint64(s)&bit != 0 {
+			t.dir[s] = newP.Addr()
+		}
+	}
+	return nil
+}
+
+// Delete removes key, reporting whether it was present. Buckets are not
+// merged on underflow (the classical scheme leaves coalescing optional;
+// space is reclaimed only on Close of the enclosing volume).
+func (t *Table) Delete(key uint64) (bool, error) {
+	p, err := t.cache.Get(t.dir[t.slot(key)])
+	if err != nil {
+		return false, err
+	}
+	defer t.cache.Unpin(p)
+	i := find(p, key)
+	if i < 0 {
+		return false, nil
+	}
+	n := count(p)
+	if i != n-1 {
+		setEntry(p, i, entryKey(p, n-1), entryVal(p, n-1))
+	}
+	setCount(p, n-1)
+	t.n--
+	return true, nil
+}
+
+// ForEach visits every (key, value) pair in unspecified order.
+func (t *Table) ForEach(fn func(k, v uint64) error) error {
+	seen := make(map[int64]bool, len(t.dir))
+	for _, addr := range t.dir {
+		if seen[addr] {
+			continue
+		}
+		seen[addr] = true
+		p, err := t.cache.Get(addr)
+		if err != nil {
+			return err
+		}
+		n := count(p)
+		for i := 0; i < n; i++ {
+			if err := fn(entryKey(p, i), entryVal(p, i)); err != nil {
+				t.cache.Unpin(p)
+				return err
+			}
+		}
+		t.cache.Unpin(p)
+	}
+	return nil
+}

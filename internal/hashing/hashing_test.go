@@ -1,0 +1,225 @@
+package hashing
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"em/internal/pdm"
+)
+
+func newTable(t testing.TB, blockBytes, cacheFrames int) (*Table, *pdm.Volume, *pdm.Pool) {
+	t.Helper()
+	vol := pdm.MustVolume(pdm.Config{BlockBytes: blockBytes, MemBlocks: 32, Disks: 1})
+	pool := pdm.PoolFor(vol)
+	tab, err := New(vol, pool, cacheFrames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab, vol, pool
+}
+
+func TestValidation(t *testing.T) {
+	vol := pdm.MustVolume(pdm.Config{BlockBytes: 16, MemBlocks: 8, Disks: 1})
+	if _, err := New(vol, pdm.PoolFor(vol), 4); err == nil {
+		t.Fatal("16-byte blocks should be rejected")
+	}
+	vol2 := pdm.MustVolume(pdm.Config{BlockBytes: 128, MemBlocks: 8, Disks: 1})
+	if _, err := New(vol2, pdm.PoolFor(vol2), 1); err == nil {
+		t.Fatal("1-frame cache should be rejected")
+	}
+}
+
+func TestInsertGet(t *testing.T) {
+	tab, _, _ := newTable(t, 128, 8)
+	defer tab.Close()
+	n := uint64(5000)
+	for k := uint64(0); k < n; k++ {
+		added, err := tab.Insert(k, k*2+1)
+		if err != nil {
+			t.Fatalf("insert %d: %v", k, err)
+		}
+		if !added {
+			t.Fatalf("key %d reported duplicate", k)
+		}
+	}
+	if tab.Len() != int64(n) {
+		t.Fatalf("len = %d", tab.Len())
+	}
+	if tab.Splits() == 0 || tab.DirectoryDoubles() == 0 {
+		t.Fatal("expected splits and directory doubling")
+	}
+	for k := uint64(0); k < n; k++ {
+		v, ok, err := tab.Get(k)
+		if err != nil || !ok || v != k*2+1 {
+			t.Fatalf("get(%d) = %d,%v,%v", k, v, ok, err)
+		}
+	}
+	if _, ok, _ := tab.Get(n + 5); ok {
+		t.Fatal("absent key found")
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	tab, _, _ := newTable(t, 128, 8)
+	defer tab.Close()
+	tab.Insert(9, 1)
+	added, err := tab.Insert(9, 2)
+	if err != nil || added {
+		t.Fatalf("overwrite: added=%v err=%v", added, err)
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("len = %d", tab.Len())
+	}
+	v, ok, _ := tab.Get(9)
+	if !ok || v != 2 {
+		t.Fatal("overwrite lost")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tab, _, _ := newTable(t, 128, 8)
+	defer tab.Close()
+	for k := uint64(0); k < 1000; k++ {
+		tab.Insert(k, k)
+	}
+	for k := uint64(0); k < 1000; k += 2 {
+		removed, err := tab.Delete(k)
+		if err != nil || !removed {
+			t.Fatalf("delete(%d): %v %v", k, removed, err)
+		}
+	}
+	if removed, _ := tab.Delete(0); removed {
+		t.Fatal("double delete succeeded")
+	}
+	if tab.Len() != 500 {
+		t.Fatalf("len = %d", tab.Len())
+	}
+	for k := uint64(0); k < 1000; k++ {
+		_, ok, _ := tab.Get(k)
+		if (k%2 == 0) == ok {
+			t.Fatalf("key %d presence wrong: %v", k, ok)
+		}
+	}
+}
+
+func TestForEach(t *testing.T) {
+	tab, _, _ := newTable(t, 128, 8)
+	defer tab.Close()
+	for k := uint64(0); k < 300; k++ {
+		tab.Insert(k, k+100)
+	}
+	got := map[uint64]uint64{}
+	err := tab.ForEach(func(k, v uint64) error {
+		if _, dup := got[k]; dup {
+			t.Fatalf("key %d visited twice", k)
+		}
+		got[k] = v
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 300 {
+		t.Fatalf("visited %d keys", len(got))
+	}
+	for k, v := range got {
+		if v != k+100 {
+			t.Fatalf("key %d value %d", k, v)
+		}
+	}
+}
+
+func TestLookupIsOneIO(t *testing.T) {
+	tab, vol, _ := newTable(t, 128, 4)
+	defer tab.Close()
+	rng := rand.New(rand.NewSource(1))
+	for k := uint64(0); k < 4000; k++ {
+		if _, err := tab.Insert(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vol.Stats().Reset()
+	const probes = 200
+	for i := 0; i < probes; i++ {
+		k := uint64(rng.Intn(4000))
+		if _, ok, err := tab.Get(k); err != nil || !ok {
+			t.Fatal("probe failed")
+		}
+	}
+	perProbe := float64(vol.Stats().Reads) / probes
+	// Expected exactly one bucket read per probe (cache may save a few).
+	if perProbe > 1.01 {
+		t.Fatalf("hash lookup costs %.2f I/Os per probe, want <= 1", perProbe)
+	}
+}
+
+func TestSkewedKeysStillWork(t *testing.T) {
+	// Keys with identical low bits stress the split path; splitmix64 must
+	// spread them.
+	tab, _, _ := newTable(t, 128, 8)
+	defer tab.Close()
+	for i := uint64(0); i < 2000; i++ {
+		k := i << 20 // low 20 bits zero
+		if _, err := tab.Insert(k, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 2000; i++ {
+		v, ok, _ := tab.Get(i << 20)
+		if !ok || v != i {
+			t.Fatalf("skewed key %d broken", i)
+		}
+	}
+}
+
+// Property: table agrees with a map under arbitrary operation sequences.
+func TestQuickMatchesMap(t *testing.T) {
+	type op struct {
+		Key uint64
+		Val uint64
+		Del bool
+	}
+	f := func(ops []op) bool {
+		vol := pdm.MustVolume(pdm.Config{BlockBytes: 64, MemBlocks: 16, Disks: 1})
+		pool := pdm.PoolFor(vol)
+		tab, err := New(vol, pool, 4)
+		if err != nil {
+			return false
+		}
+		defer tab.Close()
+		ref := map[uint64]uint64{}
+		for _, o := range ops {
+			k := o.Key % 128
+			if o.Del {
+				removed, err := tab.Delete(k)
+				if err != nil {
+					return false
+				}
+				_, had := ref[k]
+				if removed != had {
+					return false
+				}
+				delete(ref, k)
+			} else {
+				if _, err := tab.Insert(k, o.Val); err != nil {
+					return false
+				}
+				ref[k] = o.Val
+			}
+		}
+		if tab.Len() != int64(len(ref)) {
+			return false
+		}
+		for k, v := range ref {
+			got, ok, err := tab.Get(k)
+			if err != nil || !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

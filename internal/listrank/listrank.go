@@ -1,0 +1,515 @@
+// Package listrank implements external-memory list ranking, the survey's
+// gateway problem for external graph algorithms: given a linked list of N
+// nodes scattered on disk, compute each node's distance from the head.
+//
+// Pointer chasing costs Θ(N) I/Os because every hop lands in a different
+// block. The external algorithm removes an independent set of nodes,
+// splices their neighbours together with accumulated edge weights, recurses
+// on the (geometrically smaller) remainder, and patches the removed nodes'
+// ranks back in with sorting joins — O(Sort(N)) I/Os in total (experiment
+// F4).
+package listrank
+
+import (
+	"errors"
+	"fmt"
+
+	"em/internal/extsort"
+	"em/internal/pdm"
+	"em/internal/record"
+	"em/internal/stream"
+)
+
+// ErrBadList reports a malformed successor list.
+var ErrBadList = errors.New("listrank: malformed list")
+
+// Tail is the successor value marking the end of the list.
+const Tail int64 = -1
+
+// NaiveRank chases pointers from head, costing one random block read per
+// node: Θ(N) I/Os. list holds (node, succ) pairs with node ids 0..N-1 and
+// record i describing node i.
+func NaiveRank(list *stream.File[record.Pair], pool *pdm.Pool, head int64) (*stream.File[record.Pair], error) {
+	n := list.Len()
+	out := stream.NewFile[record.Pair](list.Vol(), record.PairCodec{})
+	w, err := stream.NewWriter(out, pool)
+	if err != nil {
+		return nil, err
+	}
+	cur := head
+	for rank := int64(0); rank < n; rank++ {
+		if cur < 0 || cur >= n {
+			w.Close()
+			return nil, fmt.Errorf("%w: walked to node %d after %d steps", ErrBadList, cur, rank)
+		}
+		p, err := stream.ReadRecordAt(list, pool, cur) // the Θ(N) random reads
+		if err != nil {
+			w.Close()
+			return nil, err
+		}
+		if err := w.Append(record.Pair{A: cur, B: rank}); err != nil {
+			w.Close()
+			return nil, err
+		}
+		cur = p.B
+	}
+	if cur != Tail {
+		w.Close()
+		return nil, fmt.Errorf("%w: list longer than %d nodes", ErrBadList, n)
+	}
+	return out, w.Close()
+}
+
+// RankWeighted computes (node, rank) pairs for a weighted list in
+// O(Sort(N)) I/Os, where rank(x) is the sum of the edge weights along the
+// path from head to x (rank(head) = 0). list holds (node, succ, weight)
+// triples, one per node; weights may be negative, which is what the Euler
+// tour technique uses (+1 down-arcs, -1 up-arcs) to compute tree depths.
+// The output is sorted by node id.
+func RankWeighted(list *stream.File[record.Triple], pool *pdm.Pool, head int64) (*stream.File[record.Pair], error) {
+	// Copy so the ranker may consume (release) its working file without
+	// destroying the caller's input.
+	edges := stream.NewFile[record.Triple](list.Vol(), record.TripleCodec{})
+	w, err := stream.NewWriter(edges, pool)
+	if err != nil {
+		return nil, err
+	}
+	if err := stream.ForEach(list, pool, func(t record.Triple) error {
+		return w.Append(t)
+	}); err != nil {
+		w.Close()
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	r := &ranker{vol: list.Vol(), pool: pool}
+	ranks, err := r.rank(edges, head, 0)
+	if err != nil {
+		return nil, err
+	}
+	out, err := extsort.MergeSort(ranks, pool, func(a, b record.Pair) bool { return a.A < b.A }, nil)
+	if err != nil {
+		return nil, err
+	}
+	ranks.Release()
+	return out, nil
+}
+
+// Rank computes (node, rank) pairs for every node using independent-set
+// contraction in O(Sort(N)) I/Os. list holds (node, succ) pairs, one per
+// node, with arbitrary node ids; head is the node with no predecessor.
+// The output is sorted by node id.
+func Rank(list *stream.File[record.Pair], pool *pdm.Pool, head int64) (*stream.File[record.Pair], error) {
+	// Edges carry spliced weights: (node, succ, weight-to-succ).
+	edges := stream.NewFile[record.Triple](list.Vol(), record.TripleCodec{})
+	w, err := stream.NewWriter(edges, pool)
+	if err != nil {
+		return nil, err
+	}
+	if err := stream.ForEach(list, pool, func(p record.Pair) error {
+		return w.Append(record.Triple{A: p.A, B: p.B, C: 1})
+	}); err != nil {
+		w.Close()
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	r := &ranker{vol: list.Vol(), pool: pool}
+	ranks, err := r.rank(edges, head, 0)
+	if err != nil {
+		return nil, err
+	}
+	// Final pass: sort ranks by node id for a canonical output.
+	out, err := extsort.MergeSort(ranks, pool, func(a, b record.Pair) bool { return a.A < b.A }, nil)
+	if err != nil {
+		return nil, err
+	}
+	ranks.Release()
+	return out, nil
+}
+
+type ranker struct {
+	vol  *pdm.Volume
+	pool *pdm.Pool
+}
+
+// memRecords is the in-memory base-case threshold.
+func (r *ranker) memRecords() int64 {
+	per := r.vol.BlockBytes() / (record.TripleCodec{}).Size()
+	return int64((r.pool.Free() - 2) * per)
+}
+
+// coin returns a deterministic pseudo-random bit for node v at a contraction
+// level.
+func coin(v int64, level int) bool {
+	x := uint64(v) ^ (uint64(level)+1)*0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return (x^(x>>31))&1 == 1
+}
+
+// rank solves the weighted list described by edges, returning (node, rank)
+// pairs in arbitrary order. It consumes (releases) edges.
+func (r *ranker) rank(edges *stream.File[record.Triple], head int64, level int) (*stream.File[record.Pair], error) {
+	if edges.Len() <= r.memRecords() {
+		return r.baseCase(edges, head)
+	}
+
+	// Annotate each node with its predecessor by sorting incoming edges by
+	// target and merge-joining against the node-ordered edge list. The edge
+	// list is kept sorted by node id as an invariant: the top-level input is
+	// written in node order and contraction preserves the order.
+	bySucc, err := r.incomingSorted(edges)
+	if err != nil {
+		return nil, err
+	}
+	byNode := edges
+
+	// One synchronized scan decides membership of the independent set and
+	// emits the contracted edge list plus the patch records.
+	contracted := stream.NewFile[record.Triple](r.vol, record.TripleCodec{})
+	patches := stream.NewFile[record.Triple](r.vol, record.TripleCodec{}) // (removedNode, pred, weightPredToNode)
+	removedAny, err := r.contract(byNode, bySucc, contracted, patches, level)
+	if err != nil {
+		return nil, err
+	}
+	bySucc.Release()
+	if !removedAny {
+		// Unlucky coins: retry with a different level salt. Progress is
+		// expected within O(1) retries.
+		contracted.Release()
+		patches.Release()
+		return r.rank(byNode, head, level+1)
+	}
+	byNode.Release()
+
+	ranks, err := r.rank(contracted, head, level+1)
+	if err != nil {
+		return nil, err
+	}
+	return r.applyPatches(ranks, patches)
+}
+
+// incomingSorted builds (succ, node, w) triples sorted by succ, dropping
+// tail markers.
+func (r *ranker) incomingSorted(edges *stream.File[record.Triple]) (*stream.File[record.Triple], error) {
+	in := stream.NewFile[record.Triple](r.vol, record.TripleCodec{})
+	w, err := stream.NewWriter(in, r.pool)
+	if err != nil {
+		return nil, err
+	}
+	if err := stream.ForEach(edges, r.pool, func(t record.Triple) error {
+		if t.B == Tail {
+			return nil
+		}
+		return w.Append(record.Triple{A: t.B, B: t.A, C: t.C})
+	}); err != nil {
+		w.Close()
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	sorted, err := extsort.MergeSort(in, r.pool,
+		func(a, b record.Triple) bool { return a.A < b.A }, nil)
+	if err != nil {
+		return nil, err
+	}
+	in.Release()
+	return sorted, nil
+}
+
+// contract performs the synchronized scan over nodes (sorted by id) and
+// incoming edges (sorted by target). A node u joins the independent set when
+// it has a predecessor p, coin(u) is heads, and coin(p) is tails; then p's
+// edge is spliced over u and (u, p, w(p,u)) is recorded as a patch.
+func (r *ranker) contract(byNode, bySucc *stream.File[record.Triple], contracted, patches *stream.File[record.Triple], level int) (bool, error) {
+	nodeR, err := stream.NewReader(byNode, r.pool)
+	if err != nil {
+		return false, err
+	}
+	defer nodeR.Close()
+	succR, err := stream.NewReader(bySucc, r.pool)
+	if err != nil {
+		return false, err
+	}
+	defer succR.Close()
+	cw, err := stream.NewWriter(contracted, r.pool)
+	if err != nil {
+		return false, err
+	}
+	pw, err := stream.NewWriter(patches, r.pool)
+	if err != nil {
+		cw.Close()
+		return false, err
+	}
+
+	// First pass: classify each node. A removed node u is spliced by
+	// rewriting its predecessor's edge; because the pred p is NOT in the
+	// independent set (coin(p)=tails) and u's successor s may itself not be
+	// removed (coin(s) heads requires coin(u)=tails), the splice touches
+	// disjoint pairs and one merge pass suffices.
+	removed := false
+	inEdge, inOK, err := succR.Next()
+	if err != nil {
+		return false, err
+	}
+	// Splices cannot be collected in an in-memory map at scale; instead emit
+	// "pred rewrite" records and join them back with a sort.
+	rewrites := stream.NewFile[record.Triple](r.vol, record.TripleCodec{}) // (pred, newSucc, addedWeight)
+	rw, err := stream.NewWriter(rewrites, r.pool)
+	if err != nil {
+		cw.Close()
+		pw.Close()
+		return false, err
+	}
+	fail := func(e error) (bool, error) {
+		cw.Close()
+		pw.Close()
+		rw.Close()
+		return false, e
+	}
+	for {
+		node, ok, err := nodeR.Next()
+		if err != nil {
+			return fail(err)
+		}
+		if !ok {
+			break
+		}
+		// Advance the incoming-edge stream to this node.
+		for inOK && inEdge.A < node.A {
+			inEdge, inOK, err = succR.Next()
+			if err != nil {
+				return fail(err)
+			}
+		}
+		hasPred := inOK && inEdge.A == node.A
+		u := node.A
+		if hasPred && coin(u, level) && !coin(inEdge.B, level) {
+			// u is removed: patch (u, pred, w(pred,u)) and rewrite pred.
+			removed = true
+			if err := pw.Append(record.Triple{A: u, B: inEdge.B, C: inEdge.C}); err != nil {
+				return fail(err)
+			}
+			if err := rw.Append(record.Triple{A: inEdge.B, B: node.B, C: node.C}); err != nil {
+				return fail(err)
+			}
+		} else {
+			if err := cw.Append(node); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	if err := cw.Close(); err != nil {
+		pw.Close()
+		rw.Close()
+		return false, err
+	}
+	if err := pw.Close(); err != nil {
+		rw.Close()
+		return false, err
+	}
+	if err := rw.Close(); err != nil {
+		return false, err
+	}
+	if !removed {
+		rewrites.Release()
+		return false, nil
+	}
+	// Apply rewrites: sort both by node id and merge, replacing the edge of
+	// every rewritten predecessor.
+	if err := r.applyRewrites(contracted, rewrites); err != nil {
+		return false, err
+	}
+	rewrites.Release()
+	return true, nil
+}
+
+// applyRewrites merges (pred, newSucc, addWeight) records into the
+// contracted list, replacing each rewritten node's successor and adding the
+// removed node's weight. The result replaces contracted's contents.
+func (r *ranker) applyRewrites(contracted, rewrites *stream.File[record.Triple]) error {
+	// contracted is already sorted by node id (the contraction scan emits in
+	// order); only the rewrites, which are keyed by predecessor, need a sort.
+	sortedC := contracted
+	sortedR, err := extsort.MergeSort(rewrites, r.pool,
+		func(a, b record.Triple) bool { return a.A < b.A }, nil)
+	if err != nil {
+		return err
+	}
+	out := stream.NewFile[record.Triple](r.vol, record.TripleCodec{})
+	w, err := stream.NewWriter(out, r.pool)
+	if err != nil {
+		return err
+	}
+	cr, err := stream.NewReader(sortedC, r.pool)
+	if err != nil {
+		w.Close()
+		return err
+	}
+	defer cr.Close()
+	rr, err := stream.NewReader(sortedR, r.pool)
+	if err != nil {
+		w.Close()
+		return err
+	}
+	defer rr.Close()
+	rew, rewOK, err := rr.Next()
+	if err != nil {
+		w.Close()
+		return err
+	}
+	for {
+		node, ok, err := cr.Next()
+		if err != nil {
+			w.Close()
+			return err
+		}
+		if !ok {
+			break
+		}
+		if rewOK && rew.A == node.A {
+			node.B = rew.B
+			node.C += rew.C
+			rew, rewOK, err = rr.Next()
+			if err != nil {
+				w.Close()
+				return err
+			}
+		}
+		if err := w.Append(node); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	sortedC.Release()
+	sortedR.Release()
+	// Swap out's contents into contracted.
+	contracted.Release()
+	*contracted = *out
+	return nil
+}
+
+// applyPatches computes ranks for removed nodes: rank(u) = rank(pred) + w.
+// It consumes both inputs and returns the combined rank file.
+func (r *ranker) applyPatches(ranks *stream.File[record.Pair], patches *stream.File[record.Triple]) (*stream.File[record.Pair], error) {
+	if patches.Len() == 0 {
+		patches.Release()
+		return ranks, nil
+	}
+	// Sort patches by predecessor and ranks by node; one merge emits the
+	// removed nodes' ranks.
+	sortedP, err := extsort.MergeSort(patches, r.pool,
+		func(a, b record.Triple) bool { return a.B < b.B }, nil)
+	if err != nil {
+		return nil, err
+	}
+	patches.Release()
+	sortedRk, err := extsort.MergeSort(ranks, r.pool,
+		func(a, b record.Pair) bool { return a.A < b.A }, nil)
+	if err != nil {
+		return nil, err
+	}
+	ranks.Release()
+
+	out := stream.NewFile[record.Pair](r.vol, record.PairCodec{})
+	w, err := stream.NewWriter(out, r.pool)
+	if err != nil {
+		return nil, err
+	}
+	pr, err := stream.NewReader(sortedP, r.pool)
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
+	defer pr.Close()
+	rr, err := stream.NewReader(sortedRk, r.pool)
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
+	defer rr.Close()
+	patch, pOK, err := pr.Next()
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
+	for {
+		rk, ok, err := rr.Next()
+		if err != nil {
+			w.Close()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if err := w.Append(rk); err != nil {
+			w.Close()
+			return nil, err
+		}
+		for pOK && patch.B == rk.A {
+			if err := w.Append(record.Pair{A: patch.A, B: rk.B + patch.C}); err != nil {
+				w.Close()
+				return nil, err
+			}
+			patch, pOK, err = pr.Next()
+			if err != nil {
+				w.Close()
+				return nil, err
+			}
+		}
+	}
+	if pOK {
+		w.Close()
+		return nil, fmt.Errorf("%w: patch for unknown predecessor %d", ErrBadList, patch.B)
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	sortedP.Release()
+	sortedRk.Release()
+	return out, nil
+}
+
+// baseCase ranks a memory-sized list directly. It consumes edges.
+func (r *ranker) baseCase(edges *stream.File[record.Triple], head int64) (*stream.File[record.Pair], error) {
+	items, err := stream.ToSlice(edges, r.pool)
+	if err != nil {
+		return nil, err
+	}
+	edges.Release()
+	succ := make(map[int64]record.Triple, len(items))
+	for _, t := range items {
+		succ[t.A] = t
+	}
+	out := stream.NewFile[record.Pair](r.vol, record.PairCodec{})
+	w, err := stream.NewWriter(out, r.pool)
+	if err != nil {
+		return nil, err
+	}
+	cur, rank := head, int64(0)
+	for i := 0; i < len(items); i++ {
+		t, ok := succ[cur]
+		if !ok {
+			w.Close()
+			return nil, fmt.Errorf("%w: node %d missing at rank %d", ErrBadList, cur, rank)
+		}
+		if err := w.Append(record.Pair{A: cur, B: rank}); err != nil {
+			w.Close()
+			return nil, err
+		}
+		rank += t.C
+		cur = t.B
+	}
+	if cur != Tail {
+		w.Close()
+		return nil, fmt.Errorf("%w: cycle or stray tail at node %d", ErrBadList, cur)
+	}
+	return out, w.Close()
+}

@@ -1,0 +1,199 @@
+package listrank
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"em/internal/pdm"
+	"em/internal/record"
+	"em/internal/stream"
+)
+
+func newEnv(t testing.TB) (*pdm.Volume, *pdm.Pool) {
+	t.Helper()
+	vol := pdm.MustVolume(pdm.Config{BlockBytes: 96, MemBlocks: 10, Disks: 1})
+	return vol, pdm.PoolFor(vol)
+}
+
+// buildList creates a random list over nodes 0..n-1 (record i = node i) and
+// returns the file, the head, and the expected rank of each node.
+func buildList(t testing.TB, vol *pdm.Volume, pool *pdm.Pool, n int, seed int64) (*stream.File[record.Pair], int64, []int64) {
+	if t != nil {
+		t.Helper()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	order := rng.Perm(n) // order[r] = node at rank r
+	succ := make([]int64, n)
+	want := make([]int64, n)
+	for r, node := range order {
+		want[node] = int64(r)
+		if r+1 < n {
+			succ[node] = int64(order[r+1])
+		} else {
+			succ[node] = Tail
+		}
+	}
+	pairs := make([]record.Pair, n)
+	for i := range pairs {
+		pairs[i] = record.Pair{A: int64(i), B: succ[i]}
+	}
+	f, err := stream.FromSlice(vol, pool, record.PairCodec{}, pairs)
+	if err != nil {
+		if t != nil {
+			t.Fatal(err)
+		}
+		panic(err)
+	}
+	return f, int64(order[0]), want
+}
+
+func checkRanks(t *testing.T, name string, f *stream.File[record.Pair], pool *pdm.Pool, want []int64) {
+	t.Helper()
+	got, err := stream.ToSlice(f, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d ranks for %d nodes", name, len(got), len(want))
+	}
+	seen := make([]bool, len(want))
+	for _, p := range got {
+		if p.A < 0 || p.A >= int64(len(want)) {
+			t.Fatalf("%s: bogus node %d", name, p.A)
+		}
+		if seen[p.A] {
+			t.Fatalf("%s: node %d ranked twice", name, p.A)
+		}
+		seen[p.A] = true
+		if p.B != want[p.A] {
+			t.Fatalf("%s: rank(%d) = %d, want %d", name, p.A, p.B, want[p.A])
+		}
+	}
+}
+
+func TestNaiveRank(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 50, 300} {
+		vol, pool := newEnv(t)
+		f, head, want := buildList(t, vol, pool, n, int64(n))
+		out, err := NaiveRank(f, pool, head)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkRanks(t, "naive", out, pool, want)
+		if pool.InUse() != 0 {
+			t.Fatalf("leaked %d frames", pool.InUse())
+		}
+	}
+}
+
+func TestRankSmallFitsMemory(t *testing.T) {
+	vol, pool := newEnv(t)
+	f, head, want := buildList(t, vol, pool, 10, 1)
+	out, err := Rank(f, pool, head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRanks(t, "base-case", out, pool, want)
+}
+
+func TestRankLargeContracts(t *testing.T) {
+	for _, n := range []int{100, 500, 2000} {
+		vol, pool := newEnv(t)
+		f, head, want := buildList(t, vol, pool, n, int64(n)+7)
+		out, err := Rank(f, pool, head)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkRanks(t, "contracted", out, pool, want)
+		if pool.InUse() != 0 {
+			t.Fatalf("n=%d: leaked %d frames", n, pool.InUse())
+		}
+	}
+}
+
+func TestRankSequentialList(t *testing.T) {
+	// Already-ordered lists (node i -> i+1) exercise degenerate coin runs.
+	vol, pool := newEnv(t)
+	n := 800
+	pairs := make([]record.Pair, n)
+	want := make([]int64, n)
+	for i := range pairs {
+		succ := int64(i + 1)
+		if i == n-1 {
+			succ = Tail
+		}
+		pairs[i] = record.Pair{A: int64(i), B: succ}
+		want[i] = int64(i)
+	}
+	f, err := stream.FromSlice(vol, pool, record.PairCodec{}, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Rank(f, pool, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRanks(t, "sequential", out, pool, want)
+}
+
+func TestNaiveRankDetectsCycle(t *testing.T) {
+	vol, pool := newEnv(t)
+	pairs := []record.Pair{{A: 0, B: 1}, {A: 1, B: 0}} // 2-cycle
+	f, err := stream.FromSlice(vol, pool, record.PairCodec{}, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NaiveRank(f, pool, 0); err == nil {
+		t.Fatal("cycle accepted")
+	}
+}
+
+func TestRankIOBeatsNaive(t *testing.T) {
+	// Experiment F4's claim: contraction ranking ≈ Sort(N) ≪ N pointer
+	// chases once blocks hold many records.
+	vol := pdm.MustVolume(pdm.Config{BlockBytes: 4096, MemBlocks: 10, Disks: 1})
+	pool := pdm.PoolFor(vol)
+	n := 8000
+	f, head, _ := buildList(t, vol, pool, n, 9)
+	vol.Stats().Reset()
+	if _, err := NaiveRank(f, pool, head); err != nil {
+		t.Fatal(err)
+	}
+	naiveIO := vol.Stats().Total()
+	vol.Stats().Reset()
+	if _, err := Rank(f, pool, head); err != nil {
+		t.Fatal(err)
+	}
+	emIO := vol.Stats().Total()
+	if emIO >= naiveIO {
+		t.Fatalf("external ranking (%d I/Os) should beat pointer chasing (%d I/Os)", emIO, naiveIO)
+	}
+}
+
+// Property: Rank agrees with NaiveRank on arbitrary permutations.
+func TestQuickRankMatchesNaive(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw%400) + 1
+		vol := pdm.MustVolume(pdm.Config{BlockBytes: 96, MemBlocks: 10, Disks: 1})
+		pool := pdm.PoolFor(vol)
+		list, head, want := buildList(nil, vol, pool, n, seed)
+		out, err := Rank(list, pool, head)
+		if err != nil {
+			return false
+		}
+		got, err := stream.ToSlice(out, pool)
+		if err != nil || len(got) != n {
+			return false
+		}
+		for _, p := range got {
+			if want[p.A] != p.B {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

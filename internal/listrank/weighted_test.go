@@ -1,0 +1,123 @@
+package listrank
+
+import (
+	"math/rand"
+	"testing"
+
+	"em/internal/pdm"
+	"em/internal/record"
+	"em/internal/stream"
+)
+
+// buildWeighted materialises a weighted list visiting nodes in the random
+// order given, with the given weights, and returns the expected prefix sums.
+func buildWeighted(t *testing.T, vol *pdm.Volume, pool *pdm.Pool, order []int, weights []int64) (*stream.File[record.Triple], int64, map[int64]int64) {
+	t.Helper()
+	n := len(order)
+	succ := make([]record.Triple, n)
+	want := make(map[int64]int64, n)
+	acc := int64(0)
+	for k, node := range order {
+		want[int64(node)] = acc
+		next := Tail
+		if k+1 < n {
+			next = int64(order[k+1])
+		}
+		succ[node] = record.Triple{A: int64(node), B: next, C: weights[k]}
+		acc += weights[k]
+	}
+	f, err := stream.FromSlice(vol, pool, record.TripleCodec{}, succ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, int64(order[0]), want
+}
+
+func TestRankWeightedSmall(t *testing.T) {
+	vol := pdm.MustVolume(pdm.Config{BlockBytes: 256, MemBlocks: 12, Disks: 1})
+	pool := pdm.PoolFor(vol)
+	f, head, want := buildWeighted(t, vol, pool, []int{2, 0, 1}, []int64{5, -3, 0})
+	ranks, err := RankWeighted(f, pool, head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := stream.ToSlice(ranks, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("ranked %d nodes", len(got))
+	}
+	for _, p := range got {
+		if want[p.A] != p.B {
+			t.Fatalf("rank(%d) = %d, want %d", p.A, p.B, want[p.A])
+		}
+	}
+	if pool.InUse() != 0 {
+		t.Fatalf("leaked %d frames", pool.InUse())
+	}
+}
+
+func TestRankWeightedExternalScaleNegativeWeights(t *testing.T) {
+	// Large enough to force several contraction levels with a tiny memory,
+	// with mixed-sign weights (the Euler-tour use case).
+	vol := pdm.MustVolume(pdm.Config{BlockBytes: 128, MemBlocks: 8, Disks: 1})
+	pool := pdm.PoolFor(vol)
+	rng := rand.New(rand.NewSource(31))
+	n := 3000
+	order := rng.Perm(n)
+	weights := make([]int64, n)
+	for i := range weights {
+		weights[i] = rng.Int63n(21) - 10 // [-10, 10]
+	}
+	f, head, want := buildWeighted(t, vol, pool, order, weights)
+	ranks, err := RankWeighted(f, pool, head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	if err := stream.ForEach(ranks, pool, func(p record.Pair) error {
+		count++
+		if want[p.A] != p.B {
+			t.Fatalf("rank(%d) = %d, want %d", p.A, p.B, want[p.A])
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("ranked %d of %d nodes", count, n)
+	}
+}
+
+func TestRankWeightedDoesNotConsumeInput(t *testing.T) {
+	vol := pdm.MustVolume(pdm.Config{BlockBytes: 256, MemBlocks: 12, Disks: 1})
+	pool := pdm.PoolFor(vol)
+	f, head, _ := buildWeighted(t, vol, pool, []int{0, 1, 2}, []int64{1, 1, 1})
+	before := f.Len()
+	if _, err := RankWeighted(f, pool, head); err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != before {
+		t.Fatalf("input length changed: %d -> %d", before, f.Len())
+	}
+	// A second ranking over the same input must still work.
+	if _, err := RankWeighted(f, pool, head); err != nil {
+		t.Fatalf("second ranking failed: %v", err)
+	}
+}
+
+func TestRankWeightedMalformed(t *testing.T) {
+	vol := pdm.MustVolume(pdm.Config{BlockBytes: 256, MemBlocks: 12, Disks: 1})
+	pool := pdm.PoolFor(vol)
+	// 0 -> 1 -> 0: a cycle.
+	cyc, err := stream.FromSlice(vol, pool, record.TripleCodec{}, []record.Triple{
+		{A: 0, B: 1, C: 1}, {A: 1, B: 0, C: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RankWeighted(cyc, pool, 0); err == nil {
+		t.Error("cyclic weighted list accepted")
+	}
+}

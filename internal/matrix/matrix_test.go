@@ -1,0 +1,283 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"em/internal/pdm"
+)
+
+func newEnv(t testing.TB) (*pdm.Volume, *pdm.Pool) {
+	t.Helper()
+	vol := pdm.MustVolume(pdm.Config{BlockBytes: 64, MemBlocks: 16, Disks: 1})
+	return vol, pdm.PoolFor(vol)
+}
+
+func randMatrix(t testing.TB, vol *pdm.Volume, pool *pdm.Pool, rows, cols int, seed int64) (*Matrix, []float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]float64, rows*cols)
+	for i := range data {
+		data[i] = float64(rng.Intn(100)) - 50
+	}
+	m, err := FromSlice(vol, pool, rows, cols, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, data
+}
+
+func transposeRef(data []float64, rows, cols int) []float64 {
+	out := make([]float64, len(data))
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			out[c*rows+r] = data[r*cols+c]
+		}
+	}
+	return out
+}
+
+func mulRef(a, b []float64, n, k, m int) []float64 {
+	out := make([]float64, n*m)
+	for i := 0; i < n; i++ {
+		for kk := 0; kk < k; kk++ {
+			av := a[i*k+kk]
+			for j := 0; j < m; j++ {
+				out[i*m+j] += av * b[kk*m+j]
+			}
+		}
+	}
+	return out
+}
+
+func TestNewAndDims(t *testing.T) {
+	vol, pool := newEnv(t)
+	m, err := New(vol, pool, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 3 || m.Cols() != 5 {
+		t.Fatal("dims wrong")
+	}
+	got, err := m.ToSlice(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range got {
+		if v != 0 {
+			t.Fatal("new matrix not zero")
+		}
+	}
+	if _, err := New(vol, pool, 0, 5); err == nil {
+		t.Fatal("zero rows should fail")
+	}
+	if _, err := New(vol, pool, 3, -1); err == nil {
+		t.Fatal("negative cols should fail")
+	}
+}
+
+func TestFromSliceValidation(t *testing.T) {
+	vol, pool := newEnv(t)
+	if _, err := FromSlice(vol, pool, 2, 2, []float64{1, 2, 3}); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+}
+
+func TestAtSet(t *testing.T) {
+	vol, pool := newEnv(t)
+	m, data := randMatrix(t, vol, pool, 4, 6, 1)
+	v, err := m.At(pool, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != data[2*6+3] {
+		t.Fatal("At wrong")
+	}
+	if err := m.Set(pool, 2, 3, 123.5); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = m.At(pool, 2, 3)
+	if v != 123.5 {
+		t.Fatal("Set did not stick")
+	}
+	if _, err := m.At(pool, 4, 0); err == nil {
+		t.Fatal("row out of range should fail")
+	}
+	if err := m.Set(pool, 0, 6, 1); err == nil {
+		t.Fatal("col out of range should fail")
+	}
+}
+
+func TestTransposeBothStrategies(t *testing.T) {
+	cases := []struct{ r, c int }{{1, 1}, {1, 7}, {7, 1}, {4, 4}, {5, 9}, {16, 16}, {13, 27}}
+	for _, tc := range cases {
+		vol, pool := newEnv(t)
+		m, data := randMatrix(t, vol, pool, tc.r, tc.c, int64(tc.r*100+tc.c))
+		want := transposeRef(data, tc.r, tc.c)
+		for name, fn := range map[string]func(*Matrix, *pdm.Pool) (*Matrix, error){
+			"naive": TransposeNaive, "blocked": TransposeBlocked,
+		} {
+			tr, err := fn(m, pool)
+			if err != nil {
+				t.Fatalf("%s %dx%d: %v", name, tc.r, tc.c, err)
+			}
+			if tr.Rows() != tc.c || tr.Cols() != tc.r {
+				t.Fatalf("%s: dims %dx%d", name, tr.Rows(), tr.Cols())
+			}
+			got, err := tr.ToSlice(pool)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s %dx%d: element %d = %v, want %v", name, tc.r, tc.c, i, got[i], want[i])
+				}
+			}
+			tr.Release()
+		}
+		if pool.InUse() != 0 {
+			t.Fatalf("leaked %d frames", pool.InUse())
+		}
+	}
+}
+
+func TestBlockedBeatsNaiveIO(t *testing.T) {
+	// The ≈×B separation needs a realistic block size: 512-byte blocks hold
+	// B = 64 float64s, and 80 frames give tiles of side ≥ B.
+	vol := pdm.MustVolume(pdm.Config{BlockBytes: 512, MemBlocks: 80, Disks: 1})
+	pool := pdm.PoolFor(vol)
+	m, _ := randMatrix(t, vol, pool, 64, 64, 3)
+	vol.Stats().Reset()
+	if _, err := TransposeNaive(m, pool); err != nil {
+		t.Fatal(err)
+	}
+	naiveIO := vol.Stats().Total()
+	vol.Stats().Reset()
+	if _, err := TransposeBlocked(m, pool); err != nil {
+		t.Fatal(err)
+	}
+	blockedIO := vol.Stats().Total()
+	if blockedIO*2 >= naiveIO {
+		t.Fatalf("blocked transpose (%d I/Os) should clearly beat naive (%d I/Os)", blockedIO, naiveIO)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	vol, pool := newEnv(t)
+	m, data := randMatrix(t, vol, pool, 9, 5, 7)
+	t1, err := TransposeBlocked(m, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := TransposeBlocked(t1, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := t2.ToSlice(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatal("transpose twice != identity")
+		}
+	}
+}
+
+func TestMultiply(t *testing.T) {
+	cases := []struct{ n, k, m int }{{1, 1, 1}, {2, 3, 4}, {5, 5, 5}, {8, 8, 8}, {7, 11, 3}, {16, 16, 16}}
+	for _, tc := range cases {
+		vol, pool := newEnv(t)
+		a, da := randMatrix(t, vol, pool, tc.n, tc.k, 11)
+		b, db := randMatrix(t, vol, pool, tc.k, tc.m, 13)
+		c, err := Multiply(a, b, pool)
+		if err != nil {
+			t.Fatalf("%v: %v", tc, err)
+		}
+		want := mulRef(da, db, tc.n, tc.k, tc.m)
+		got, err := c.ToSlice(pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v: element %d = %v, want %v", tc, i, got[i], want[i])
+			}
+		}
+		if pool.InUse() != 0 {
+			t.Fatalf("leaked %d frames", pool.InUse())
+		}
+	}
+}
+
+func TestMultiplyDimensionMismatch(t *testing.T) {
+	vol, pool := newEnv(t)
+	a, _ := randMatrix(t, vol, pool, 2, 3, 1)
+	b, _ := randMatrix(t, vol, pool, 4, 2, 2)
+	if _, err := Multiply(a, b, pool); err == nil {
+		t.Fatal("dimension mismatch should fail")
+	}
+}
+
+func TestMultiplyIdentity(t *testing.T) {
+	vol, pool := newEnv(t)
+	n := 6
+	id := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		id[i*n+i] = 1
+	}
+	eye, err := FromSlice(vol, pool, n, n, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, da := randMatrix(t, vol, pool, n, n, 9)
+	c, err := Multiply(a, eye, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := c.ToSlice(pool)
+	for i := range da {
+		if got[i] != da[i] {
+			t.Fatal("A·I != A")
+		}
+	}
+}
+
+// Property: blocked transpose equals the reference transpose for arbitrary
+// shapes and data.
+func TestQuickTranspose(t *testing.T) {
+	f := func(rRaw, cRaw uint8, seed int64) bool {
+		r := int(rRaw%20) + 1
+		c := int(cRaw%20) + 1
+		vol := pdm.MustVolume(pdm.Config{BlockBytes: 64, MemBlocks: 16, Disks: 1})
+		pool := pdm.PoolFor(vol)
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]float64, r*c)
+		for i := range data {
+			data[i] = rng.Float64()
+		}
+		m, err := FromSlice(vol, pool, r, c, data)
+		if err != nil {
+			return false
+		}
+		tr, err := TransposeBlocked(m, pool)
+		if err != nil {
+			return false
+		}
+		got, err := tr.ToSlice(pool)
+		if err != nil {
+			return false
+		}
+		want := transposeRef(data, r, c)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

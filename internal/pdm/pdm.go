@@ -1,0 +1,323 @@
+// Package pdm implements the Parallel Disk Model of Vitter and Shriver as an
+// instrumented, in-process block device.
+//
+// The model has four parameters:
+//
+//	N — problem size in records (a property of the workload, not the device)
+//	M — internal memory capacity in records
+//	B — block size in records
+//	D — number of independent disks
+//
+// A Volume exposes a linear space of fixed-size blocks striped round-robin
+// across D simulated disks and counts every block transfer. Two costs are
+// tracked: total block I/Os (the classical single-disk measure) and parallel
+// I/O steps, where one step may transfer up to D blocks provided they reside
+// on distinct disks. Algorithms built on pdm therefore report exactly the
+// quantities the external-memory literature reasons about, free of page-cache
+// and garbage-collector noise.
+//
+// Memory is modelled by Pool, which hands out at most M/B block-sized frames
+// and refuses further allocation, so an algorithm that exceeds its stated
+// memory bound fails its tests rather than silently borrowing RAM.
+package pdm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Common errors returned by Volume operations.
+var (
+	// ErrBadAddress reports a block address outside the allocated space.
+	ErrBadAddress = errors.New("pdm: block address out of range")
+	// ErrBadBuffer reports a caller buffer whose length is not the block size.
+	ErrBadBuffer = errors.New("pdm: buffer length != block size")
+	// ErrNoFrames reports that the buffer pool is exhausted, i.e. the
+	// algorithm attempted to exceed its internal-memory budget M.
+	ErrNoFrames = errors.New("pdm: buffer pool exhausted (memory budget M exceeded)")
+)
+
+// Config fixes the device-shape parameters of a parallel disk model instance.
+// The problem size N is a property of each workload and does not appear here.
+type Config struct {
+	// BlockBytes is the size of one block in bytes (the survey's B, here in
+	// bytes; divide by a record size to obtain B in records).
+	BlockBytes int
+	// MemBlocks is the number of block frames that fit in internal memory,
+	// i.e. M/B. A Pool created from this config enforces the budget.
+	MemBlocks int
+	// Disks is D, the number of independent disks blocks are striped over.
+	Disks int
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.BlockBytes <= 0 {
+		return fmt.Errorf("pdm: BlockBytes must be positive, got %d", c.BlockBytes)
+	}
+	if c.MemBlocks < 2 {
+		return fmt.Errorf("pdm: MemBlocks must be at least 2, got %d", c.MemBlocks)
+	}
+	if c.Disks < 1 {
+		return fmt.Errorf("pdm: Disks must be at least 1, got %d", c.Disks)
+	}
+	return nil
+}
+
+// Stats accumulates I/O counts for a Volume. Counts are in block transfers.
+type Stats struct {
+	// Reads and Writes count individual block transfers.
+	Reads  uint64
+	Writes uint64
+	// Steps counts parallel I/O steps: a batch transfer of k blocks spread
+	// over the disks costs max-blocks-per-single-disk steps; an unbatched
+	// transfer costs one step.
+	Steps uint64
+	// PerDiskReads and PerDiskWrites break transfers down by disk.
+	PerDiskReads  []uint64
+	PerDiskWrites []uint64
+}
+
+// Total returns reads plus writes.
+func (s *Stats) Total() uint64 { return s.Reads + s.Writes }
+
+// Reset zeroes all counters in place, preserving the per-disk slices.
+func (s *Stats) Reset() {
+	s.Reads, s.Writes, s.Steps = 0, 0, 0
+	for i := range s.PerDiskReads {
+		s.PerDiskReads[i] = 0
+	}
+	for i := range s.PerDiskWrites {
+		s.PerDiskWrites[i] = 0
+	}
+}
+
+// Snapshot returns a copy of the current counters.
+func (s *Stats) Snapshot() Stats {
+	cp := *s
+	cp.PerDiskReads = append([]uint64(nil), s.PerDiskReads...)
+	cp.PerDiskWrites = append([]uint64(nil), s.PerDiskWrites...)
+	return cp
+}
+
+// String renders the counters compactly for logs and experiment tables.
+func (s *Stats) String() string {
+	return fmt.Sprintf("reads=%d writes=%d total=%d steps=%d", s.Reads, s.Writes, s.Total(), s.Steps)
+}
+
+// disk is one simulated disk: a growable array of blocks.
+type disk struct {
+	blocks [][]byte
+}
+
+// Volume is a linear block address space striped round-robin over D disks.
+// Block address a lives on disk a mod D at position a div D. Volumes grow on
+// demand through Alloc and never shrink; Free records reusable addresses.
+//
+// Volume is not safe for concurrent use; the external-memory algorithms in
+// this module are sequential by design, as in the survey.
+type Volume struct {
+	cfg      Config
+	disks    []disk
+	next     int64 // next unallocated block address
+	freeList []int64
+	stats    Stats
+}
+
+// NewVolume creates an empty volume with the given configuration.
+func NewVolume(cfg Config) (*Volume, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	v := &Volume{cfg: cfg, disks: make([]disk, cfg.Disks)}
+	v.stats.PerDiskReads = make([]uint64, cfg.Disks)
+	v.stats.PerDiskWrites = make([]uint64, cfg.Disks)
+	return v, nil
+}
+
+// MustVolume is NewVolume for tests and examples with known-good configs.
+func MustVolume(cfg Config) *Volume {
+	v, err := NewVolume(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Config returns the volume's configuration.
+func (v *Volume) Config() Config { return v.cfg }
+
+// BlockBytes returns the block size in bytes.
+func (v *Volume) BlockBytes() int { return v.cfg.BlockBytes }
+
+// Disks returns D, the number of disks.
+func (v *Volume) Disks() int { return v.cfg.Disks }
+
+// Stats returns the live counter set. Callers may Reset or Snapshot it.
+func (v *Volume) Stats() *Stats { return &v.stats }
+
+// Allocated returns the number of blocks ever allocated (the high-water
+// address), including freed blocks.
+func (v *Volume) Allocated() int64 { return v.next }
+
+// Alloc reserves n fresh blocks and returns the address of the first.
+// Addresses of a single Alloc are contiguous, so they stripe evenly over the
+// disks. Freed blocks are reused only for single-block allocations.
+func (v *Volume) Alloc(n int) int64 {
+	if n <= 0 {
+		panic("pdm: Alloc of non-positive block count")
+	}
+	if n == 1 && len(v.freeList) > 0 {
+		addr := v.freeList[len(v.freeList)-1]
+		v.freeList = v.freeList[:len(v.freeList)-1]
+		return addr
+	}
+	addr := v.next
+	v.next += int64(n)
+	return addr
+}
+
+// Free marks a block address reusable. The block's contents remain until
+// overwritten; reading a freed block is permitted (it models a disk, not an
+// allocator with poisoning).
+func (v *Volume) Free(addr int64) {
+	v.freeList = append(v.freeList, addr)
+}
+
+// locate resolves a block address to its disk and slot, growing the disk's
+// backing store as needed when writing.
+func (v *Volume) locate(addr int64, grow bool) (*disk, int64, error) {
+	if addr < 0 || addr >= v.next {
+		return nil, 0, fmt.Errorf("%w: %d (allocated %d)", ErrBadAddress, addr, v.next)
+	}
+	d := &v.disks[int(addr)%v.cfg.Disks]
+	slot := addr / int64(v.cfg.Disks)
+	if int64(len(d.blocks)) <= slot {
+		if !grow {
+			// Reading a block that was allocated but never written yields a
+			// zero block, mirroring a freshly formatted disk region.
+			return d, slot, nil
+		}
+		for int64(len(d.blocks)) <= slot {
+			d.blocks = append(d.blocks, nil)
+		}
+	}
+	return d, slot, nil
+}
+
+// ReadBlock copies block addr into dst, which must be exactly one block long.
+// It costs one block read and one parallel step.
+func (v *Volume) ReadBlock(addr int64, dst []byte) error {
+	if len(dst) != v.cfg.BlockBytes {
+		return fmt.Errorf("%w: got %d want %d", ErrBadBuffer, len(dst), v.cfg.BlockBytes)
+	}
+	d, slot, err := v.locate(addr, false)
+	if err != nil {
+		return err
+	}
+	v.stats.Reads++
+	v.stats.Steps++
+	v.stats.PerDiskReads[int(addr)%v.cfg.Disks]++
+	if slot < int64(len(d.blocks)) && d.blocks[slot] != nil {
+		copy(dst, d.blocks[slot])
+	} else {
+		clear(dst)
+	}
+	return nil
+}
+
+// WriteBlock stores src as block addr. It costs one block write and one
+// parallel step.
+func (v *Volume) WriteBlock(addr int64, src []byte) error {
+	if len(src) != v.cfg.BlockBytes {
+		return fmt.Errorf("%w: got %d want %d", ErrBadBuffer, len(src), v.cfg.BlockBytes)
+	}
+	d, slot, err := v.locate(addr, true)
+	if err != nil {
+		return err
+	}
+	v.stats.Writes++
+	v.stats.Steps++
+	v.stats.PerDiskWrites[int(addr)%v.cfg.Disks]++
+	if d.blocks[slot] == nil {
+		d.blocks[slot] = make([]byte, v.cfg.BlockBytes)
+	}
+	copy(d.blocks[slot], src)
+	return nil
+}
+
+// stepCost returns the parallel-step cost of touching the given addresses in
+// one batch: the maximum number of them that collide on a single disk.
+func (v *Volume) stepCost(addrs []int64) uint64 {
+	if v.cfg.Disks == 1 {
+		return uint64(len(addrs))
+	}
+	counts := make([]int, v.cfg.Disks)
+	maxC := 0
+	for _, a := range addrs {
+		c := counts[int(a)%v.cfg.Disks] + 1
+		counts[int(a)%v.cfg.Disks] = c
+		if c > maxC {
+			maxC = c
+		}
+	}
+	return uint64(maxC)
+}
+
+// BatchRead reads len(addrs) blocks as one parallel batch. dsts[i] receives
+// block addrs[i]. The batch costs len(addrs) block reads but only as many
+// parallel steps as the worst single disk must serve.
+func (v *Volume) BatchRead(addrs []int64, dsts [][]byte) error {
+	if len(addrs) != len(dsts) {
+		return fmt.Errorf("pdm: BatchRead length mismatch: %d addrs, %d buffers", len(addrs), len(dsts))
+	}
+	if len(addrs) == 0 {
+		return nil
+	}
+	for i, a := range addrs {
+		if len(dsts[i]) != v.cfg.BlockBytes {
+			return fmt.Errorf("%w: buffer %d has %d bytes", ErrBadBuffer, i, len(dsts[i]))
+		}
+		d, slot, err := v.locate(a, false)
+		if err != nil {
+			return err
+		}
+		v.stats.Reads++
+		v.stats.PerDiskReads[int(a)%v.cfg.Disks]++
+		if slot < int64(len(d.blocks)) && d.blocks[slot] != nil {
+			copy(dsts[i], d.blocks[slot])
+		} else {
+			clear(dsts[i])
+		}
+	}
+	v.stats.Steps += v.stepCost(addrs)
+	return nil
+}
+
+// BatchWrite writes len(addrs) blocks as one parallel batch, the write-side
+// dual of BatchRead.
+func (v *Volume) BatchWrite(addrs []int64, srcs [][]byte) error {
+	if len(addrs) != len(srcs) {
+		return fmt.Errorf("pdm: BatchWrite length mismatch: %d addrs, %d buffers", len(addrs), len(srcs))
+	}
+	if len(addrs) == 0 {
+		return nil
+	}
+	for i, a := range addrs {
+		if len(srcs[i]) != v.cfg.BlockBytes {
+			return fmt.Errorf("%w: buffer %d has %d bytes", ErrBadBuffer, i, len(srcs[i]))
+		}
+		d, slot, err := v.locate(a, true)
+		if err != nil {
+			return err
+		}
+		v.stats.Writes++
+		v.stats.PerDiskWrites[int(a)%v.cfg.Disks]++
+		if d.blocks[slot] == nil {
+			d.blocks[slot] = make([]byte, v.cfg.BlockBytes)
+		}
+		copy(d.blocks[slot], srcs[i])
+	}
+	v.stats.Steps += v.stepCost(addrs)
+	return nil
+}

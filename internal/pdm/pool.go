@@ -1,0 +1,114 @@
+package pdm
+
+import "fmt"
+
+// Pool enforces the internal-memory budget of the model: it hands out at most
+// MemBlocks block-sized frames. Every algorithm in this module draws its
+// working buffers from a Pool, so an implementation that needs more than M/B
+// frames cannot pass its tests by silently using extra RAM.
+//
+// Frames are recycled through a free list, so steady-state allocation does
+// not touch the garbage collector.
+type Pool struct {
+	blockBytes int
+	capacity   int
+	inUse      int
+	peak       int
+	free       []*Frame
+}
+
+// Frame is one block-sized memory buffer on loan from a Pool.
+type Frame struct {
+	// Buf is the frame's storage, exactly one block long.
+	Buf  []byte
+	pool *Pool
+}
+
+// NewPool creates a pool of capacity frames of blockBytes each.
+func NewPool(blockBytes, capacity int) *Pool {
+	return &Pool{blockBytes: blockBytes, capacity: capacity}
+}
+
+// PoolFor creates the pool implied by a volume's configuration: MemBlocks
+// frames of BlockBytes bytes.
+func PoolFor(v *Volume) *Pool {
+	return NewPool(v.cfg.BlockBytes, v.cfg.MemBlocks)
+}
+
+// Capacity returns the frame budget M/B.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// InUse returns the number of frames currently on loan.
+func (p *Pool) InUse() int { return p.inUse }
+
+// Free returns the number of frames still available.
+func (p *Pool) Free() int { return p.capacity - p.inUse }
+
+// Peak returns the high-water mark of simultaneous frames on loan, useful
+// for asserting that an algorithm stayed within a sub-budget.
+func (p *Pool) Peak() int { return p.peak }
+
+// Alloc borrows one frame. It returns ErrNoFrames when the budget is
+// exhausted, which signals a violation of the algorithm's stated memory
+// bound.
+func (p *Pool) Alloc() (*Frame, error) {
+	if p.inUse >= p.capacity {
+		return nil, fmt.Errorf("%w: capacity %d", ErrNoFrames, p.capacity)
+	}
+	p.inUse++
+	if p.inUse > p.peak {
+		p.peak = p.inUse
+	}
+	if n := len(p.free); n > 0 {
+		f := p.free[n-1]
+		p.free = p.free[:n-1]
+		f.pool = p
+		return f, nil
+	}
+	return &Frame{Buf: make([]byte, p.blockBytes), pool: p}, nil
+}
+
+// MustAlloc is Alloc for callers that have already reserved their budget and
+// treat exhaustion as a programming error.
+func (p *Pool) MustAlloc() *Frame {
+	f, err := p.Alloc()
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// AllocN borrows n frames, releasing any partial allocation on failure.
+func (p *Pool) AllocN(n int) ([]*Frame, error) {
+	frames := make([]*Frame, 0, n)
+	for i := 0; i < n; i++ {
+		f, err := p.Alloc()
+		if err != nil {
+			for _, g := range frames {
+				g.Release()
+			}
+			return nil, err
+		}
+		frames = append(frames, f)
+	}
+	return frames, nil
+}
+
+// Release returns the frame to its pool. Releasing twice panics, as it
+// indicates corrupted buffer accounting.
+func (f *Frame) Release() {
+	if f.pool == nil {
+		panic("pdm: double release of frame")
+	}
+	p := f.pool
+	f.pool = nil
+	p.inUse--
+	p.free = append(p.free, f)
+}
+
+// ReleaseAll releases every frame in frames.
+func ReleaseAll(frames []*Frame) {
+	for _, f := range frames {
+		f.Release()
+	}
+}

@@ -1,0 +1,241 @@
+// Package permute implements external permuting, the problem the survey uses
+// to separate computation from data movement: rearrange N records according
+// to a given permutation.
+//
+// The survey's bound is Perm(N) = Θ(min(N/D, Sort(N))): for small N (or huge
+// B) moving each record individually is cheaper, while beyond the crossover
+// it is cheaper to attach target addresses and sort. Both algorithms are
+// implemented here so the crossover itself can be measured (experiment T3).
+package permute
+
+import (
+	"fmt"
+
+	"em/internal/extsort"
+	"em/internal/pdm"
+	"em/internal/record"
+	"em/internal/stream"
+)
+
+// validate checks that perm is a permutation of [0, n).
+func validate(perm []int64, n int64) error {
+	if int64(len(perm)) != n {
+		return fmt.Errorf("permute: permutation has %d entries for %d records", len(perm), n)
+	}
+	seen := make([]bool, n)
+	for i, p := range perm {
+		if p < 0 || p >= n {
+			return fmt.Errorf("permute: target %d of record %d out of range", p, i)
+		}
+		if seen[p] {
+			return fmt.Errorf("permute: duplicate target %d", p)
+		}
+		seen[p] = true
+	}
+	return nil
+}
+
+// Naive permutes f so that output position perm[i] holds record i, moving
+// one record at a time: a sequential scan of the input plus one
+// read-modify-write of the target block per record, Θ(N) I/Os in total.
+// This is the survey's lower-tier strategy, optimal only when N/D < Sort(N).
+func Naive[T any](f *stream.File[T], pool *pdm.Pool, perm []int64) (*stream.File[T], error) {
+	if err := validate(perm, f.Len()); err != nil {
+		return nil, err
+	}
+	out := stream.NewFile[T](f.Vol(), f.Codec())
+	// Pre-size the output with zero records so WriteRecordAt can address it.
+	w, err := stream.NewWriter(out, pool)
+	if err != nil {
+		return nil, err
+	}
+	var zero T
+	for i := int64(0); i < f.Len(); i++ {
+		if err := w.Append(zero); err != nil {
+			w.Close()
+			return nil, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	r, err := stream.NewReader(f, pool)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	i := int64(0)
+	for {
+		v, ok, err := r.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if err := stream.WriteRecordAt(out, pool, perm[i], v); err != nil {
+			return nil, err
+		}
+		i++
+	}
+	return out, nil
+}
+
+// BySorting permutes f so that output position perm[i] holds record i by
+// tagging every record with its target address and running an external merge
+// sort on the tags: Θ(Sort(N)) I/Os, the upper-tier strategy of the
+// Perm(N) = Θ(min(N/D, Sort(N))) bound.
+func BySorting[T any](f *stream.File[T], pool *pdm.Pool, perm []int64, opts *extsort.Options) (*stream.File[T], error) {
+	if err := validate(perm, f.Len()); err != nil {
+		return nil, err
+	}
+	kc := record.KeyedCodec[T]{C: f.Codec()}
+	tagged := stream.NewFile[record.Keyed[T]](f.Vol(), kc)
+	tw, err := stream.NewWriter(tagged, pool)
+	if err != nil {
+		return nil, err
+	}
+	r, err := stream.NewReader(f, pool)
+	if err != nil {
+		tw.Close()
+		return nil, err
+	}
+	i := int64(0)
+	for {
+		v, ok, err := r.Next()
+		if err != nil {
+			r.Close()
+			tw.Close()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if err := tw.Append(record.Keyed[T]{Key: uint64(perm[i]), Value: v}); err != nil {
+			r.Close()
+			tw.Close()
+			return nil, err
+		}
+		i++
+	}
+	r.Close()
+	if err := tw.Close(); err != nil {
+		return nil, err
+	}
+	sorted, err := extsort.MergeSort(tagged, pool,
+		func(a, b record.Keyed[T]) bool { return a.Key < b.Key }, opts)
+	if err != nil {
+		return nil, err
+	}
+	tagged.Release()
+	out := stream.NewFile[T](f.Vol(), f.Codec())
+	ow, err := stream.NewWriter(out, pool)
+	if err != nil {
+		return nil, err
+	}
+	if err := stream.ForEach(sorted, pool, func(kv record.Keyed[T]) error {
+		return ow.Append(kv.Value)
+	}); err != nil {
+		ow.Close()
+		return nil, err
+	}
+	if err := ow.Close(); err != nil {
+		return nil, err
+	}
+	sorted.Release()
+	return out, nil
+}
+
+// Auto picks the cheaper strategy per the Perm(N) bound: Naive when the
+// estimated naive cost N·2 is below the estimated sort cost, BySorting
+// otherwise.
+func Auto[T any](f *stream.File[T], pool *pdm.Pool, perm []int64, opts *extsort.Options) (*stream.File[T], error) {
+	n := f.Len()
+	if n == 0 {
+		return stream.NewFile[T](f.Vol(), f.Codec()), nil
+	}
+	naiveCost := 2 * n // read-modify-write per record, plus the scan's n/B
+	sortCost := SortCostEstimate(n, int64(f.PerBlock()), int64(pool.Capacity()))
+	if naiveCost < sortCost {
+		return Naive(f, pool, perm)
+	}
+	return BySorting(f, pool, perm, opts)
+}
+
+// SortCostEstimate returns the textbook 2·(N/B)·(1+⌈log_m(N/M)⌉)-ish I/O
+// estimate for externally sorting N records with B records per block and m
+// memory frames. It is an estimate for strategy selection, not an exact
+// count.
+func SortCostEstimate(n, perBlock, frames int64) int64 {
+	if n == 0 || perBlock <= 0 || frames <= 1 {
+		return 0
+	}
+	blocks := (n + perBlock - 1) / perBlock
+	memRecords := frames * perBlock
+	runs := (n + memRecords - 1) / memRecords
+	passes := int64(1) // run formation
+	fanin := frames - 1
+	if fanin < 2 {
+		fanin = 2
+	}
+	for runs > 1 {
+		runs = (runs + fanin - 1) / fanin
+		passes++
+	}
+	return 2 * blocks * passes
+}
+
+// Identity returns the identity permutation on n elements.
+func Identity(n int) []int64 {
+	p := make([]int64, n)
+	for i := range p {
+		p[i] = int64(i)
+	}
+	return p
+}
+
+// Reverse returns the reversal permutation on n elements.
+func Reverse(n int) []int64 {
+	p := make([]int64, n)
+	for i := range p {
+		p[i] = int64(n - 1 - i)
+	}
+	return p
+}
+
+// BitReversal returns the bit-reversal permutation on n = 2^k elements, the
+// access pattern at the heart of the FFT dataflow the survey discusses
+// alongside permutation networks.
+func BitReversal(n int) ([]int64, error) {
+	if n <= 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("permute: bit reversal needs a power of two, got %d", n)
+	}
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	p := make([]int64, n)
+	for i := 0; i < n; i++ {
+		rev := 0
+		for b := 0; b < bits; b++ {
+			if i&(1<<b) != 0 {
+				rev |= 1 << (bits - 1 - b)
+			}
+		}
+		p[i] = int64(rev)
+	}
+	return p, nil
+}
+
+// Transposition returns the permutation that maps row-major position
+// i = r·cols+c of a rows×cols matrix to position c·rows+r, i.e. matrix
+// transposition expressed as a permutation.
+func Transposition(rows, cols int) []int64 {
+	p := make([]int64, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			p[r*cols+c] = int64(c*rows + r)
+		}
+	}
+	return p
+}

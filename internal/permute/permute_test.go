@@ -1,0 +1,279 @@
+package permute
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"em/internal/pdm"
+	"em/internal/record"
+	"em/internal/stream"
+)
+
+func newEnv(t testing.TB) (*pdm.Volume, *pdm.Pool) {
+	t.Helper()
+	vol := pdm.MustVolume(pdm.Config{BlockBytes: 64, MemBlocks: 8, Disks: 1})
+	return vol, pdm.PoolFor(vol)
+}
+
+func inputFile(t testing.TB, vol *pdm.Volume, pool *pdm.Pool, n int) (*stream.File[record.Record], []record.Record) {
+	t.Helper()
+	in := make([]record.Record, n)
+	for i := range in {
+		in[i] = record.Record{Key: uint64(i), Val: uint64(i * 10)}
+	}
+	f, err := stream.FromSlice(vol, pool, record.RecordCodec{}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, in
+}
+
+func randomPerm(n int, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	p := make([]int64, n)
+	for i, v := range rng.Perm(n) {
+		p[i] = int64(v)
+	}
+	return p
+}
+
+func checkPermuted(t *testing.T, name string, got, in []record.Record, perm []int64) {
+	t.Helper()
+	if len(got) != len(in) {
+		t.Fatalf("%s: got %d records, want %d", name, len(got), len(in))
+	}
+	for i := range in {
+		if got[perm[i]] != in[i] {
+			t.Fatalf("%s: output[%d] = %+v, want input[%d] = %+v", name, perm[i], got[perm[i]], i, in[i])
+		}
+	}
+}
+
+func TestNaivePermute(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 64, 200} {
+		vol, pool := newEnv(t)
+		f, in := inputFile(t, vol, pool, n)
+		perm := randomPerm(n, int64(n))
+		out, err := Naive(f, pool, perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := stream.ToSlice(out, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkPermuted(t, "naive", got, in, perm)
+		if pool.InUse() != 0 {
+			t.Fatalf("leaked %d frames", pool.InUse())
+		}
+	}
+}
+
+func TestBySortingPermute(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 64, 500} {
+		vol, pool := newEnv(t)
+		f, in := inputFile(t, vol, pool, n)
+		perm := randomPerm(n, int64(n)+1)
+		out, err := BySorting(f, pool, perm, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := stream.ToSlice(out, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkPermuted(t, "sort-based", got, in, perm)
+		if pool.InUse() != 0 {
+			t.Fatalf("leaked %d frames", pool.InUse())
+		}
+	}
+}
+
+func TestAutoPermute(t *testing.T) {
+	vol, pool := newEnv(t)
+	f, in := inputFile(t, vol, pool, 300)
+	perm := randomPerm(300, 5)
+	out, err := Auto(f, pool, perm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := stream.ToSlice(out, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPermuted(t, "auto", got, in, perm)
+	// Empty input short-circuits.
+	empty := stream.NewFile[record.Record](vol, record.RecordCodec{})
+	eo, err := Auto(empty, pool, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eo.Len() != 0 {
+		t.Fatal("empty auto permute should be empty")
+	}
+}
+
+func TestPermuteValidation(t *testing.T) {
+	vol, pool := newEnv(t)
+	f, _ := inputFile(t, vol, pool, 4)
+	bad := [][]int64{
+		{0, 1, 2},     // wrong length
+		{0, 1, 2, 4},  // out of range
+		{0, 1, 1, 3},  // duplicate
+		{-1, 1, 2, 3}, // negative
+	}
+	for _, p := range bad {
+		if _, err := Naive(f, pool, p); err == nil {
+			t.Fatalf("perm %v should be rejected", p)
+		}
+		if _, err := BySorting(f, pool, p, nil); err == nil {
+			t.Fatalf("perm %v should be rejected by sorting path", p)
+		}
+	}
+}
+
+func TestIdentityReverse(t *testing.T) {
+	id := Identity(5)
+	for i, v := range id {
+		if v != int64(i) {
+			t.Fatal("identity wrong")
+		}
+	}
+	rev := Reverse(5)
+	for i, v := range rev {
+		if v != int64(4-i) {
+			t.Fatal("reverse wrong")
+		}
+	}
+}
+
+func TestBitReversal(t *testing.T) {
+	p, err := BitReversal(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 4, 2, 6, 1, 5, 3, 7}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("bit reversal = %v", p)
+		}
+	}
+	// Involution: applying twice is the identity.
+	for i := range p {
+		if p[p[i]] != int64(i) {
+			t.Fatal("bit reversal is not an involution")
+		}
+	}
+	if _, err := BitReversal(6); err == nil {
+		t.Fatal("non power of two should fail")
+	}
+	if _, err := BitReversal(0); err == nil {
+		t.Fatal("zero should fail")
+	}
+}
+
+func TestTranspositionPermutation(t *testing.T) {
+	p := Transposition(2, 3)
+	// Row-major 2x3: [a b c; d e f] -> column-major positions in 3x2.
+	want := []int64{0, 2, 4, 1, 3, 5}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("transposition perm = %v, want %v", p, want)
+		}
+	}
+}
+
+func TestNaiveCostLinearInN(t *testing.T) {
+	vol, pool := newEnv(t)
+	n := 256
+	f, _ := inputFile(t, vol, pool, n)
+	perm := randomPerm(n, 1)
+	vol.Stats().Reset()
+	if _, err := Naive(f, pool, perm); err != nil {
+		t.Fatal(err)
+	}
+	io := vol.Stats().Total()
+	// Expect ≈ scan + 2 I/Os per record; certainly ≥ N.
+	if io < uint64(n) {
+		t.Fatalf("naive permute cost %d I/Os for n=%d — too low", io, n)
+	}
+	if io > uint64(4*n) {
+		t.Fatalf("naive permute cost %d I/Os for n=%d — too high", io, n)
+	}
+}
+
+func TestSortBasedBeatsNaiveAtScale(t *testing.T) {
+	// The Perm(N) = min(N, Sort(N)) crossover requires a realistic block
+	// size: with B = 64 records per block, Sort(N) ≈ 4·N/B ≪ N.
+	vol := pdm.MustVolume(pdm.Config{BlockBytes: 1024, MemBlocks: 16, Disks: 1})
+	pool := pdm.PoolFor(vol)
+	n := 2048
+	f, _ := inputFile(t, vol, pool, n)
+	perm := randomPerm(n, 2)
+	vol.Stats().Reset()
+	if _, err := Naive(f, pool, perm); err != nil {
+		t.Fatal(err)
+	}
+	naiveIO := vol.Stats().Total()
+	vol.Stats().Reset()
+	if _, err := BySorting(f, pool, perm, nil); err != nil {
+		t.Fatal(err)
+	}
+	sortIO := vol.Stats().Total()
+	if sortIO >= naiveIO {
+		t.Fatalf("sort-based (%d I/Os) should beat naive (%d I/Os) at n=%d", sortIO, naiveIO, n)
+	}
+}
+
+// Property: both strategies compute the same result for arbitrary
+// permutations.
+func TestQuickStrategiesAgree(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		vol := pdm.MustVolume(pdm.Config{BlockBytes: 64, MemBlocks: 8, Disks: 1})
+		pool := pdm.PoolFor(vol)
+		in := make([]record.Record, n)
+		for i := range in {
+			in[i] = record.Record{Key: uint64(i), Val: uint64(seed)}
+		}
+		file, err := stream.FromSlice(vol, pool, record.RecordCodec{}, in)
+		if err != nil {
+			return false
+		}
+		perm := randomPerm(n, seed)
+		a, err := Naive(file, pool, perm)
+		if err != nil {
+			return false
+		}
+		b, err := BySorting(file, pool, perm, nil)
+		if err != nil {
+			return false
+		}
+		ga, _ := stream.ToSlice(a, pool)
+		gb, _ := stream.ToSlice(b, pool)
+		if len(ga) != len(gb) {
+			return false
+		}
+		for i := range ga {
+			if ga[i] != gb[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortCostEstimate(t *testing.T) {
+	if SortCostEstimate(0, 4, 8) != 0 {
+		t.Fatal("empty estimate should be 0")
+	}
+	small := SortCostEstimate(100, 4, 8)
+	big := SortCostEstimate(100000, 4, 8)
+	if small <= 0 || big <= small {
+		t.Fatalf("estimates not monotone: %d %d", small, big)
+	}
+}

@@ -1,0 +1,224 @@
+package pqueue
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"em/internal/pdm"
+)
+
+func newQueue(t testing.TB, memBlocks int) (*Queue, *pdm.Volume, *pdm.Pool) {
+	t.Helper()
+	vol := pdm.MustVolume(pdm.Config{BlockBytes: 64, MemBlocks: memBlocks, Disks: 1})
+	pool := pdm.PoolFor(vol)
+	q, err := New(vol, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, vol, pool
+}
+
+func TestEmptyPop(t *testing.T) {
+	q, _, _ := newQueue(t, 8)
+	defer q.Close()
+	_, _, ok, err := q.PopMin()
+	if err != nil || ok {
+		t.Fatalf("pop on empty: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestPushPopInMemoryOnly(t *testing.T) {
+	q, vol, _ := newQueue(t, 16)
+	defer q.Close()
+	for _, k := range []uint64{5, 1, 9, 3} {
+		if err := q.Push(k, k*10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if vol.Stats().Total() != 0 {
+		t.Fatal("small pushes should stay in memory")
+	}
+	want := []uint64{1, 3, 5, 9}
+	for _, w := range want {
+		k, v, ok, err := q.PopMin()
+		if err != nil || !ok {
+			t.Fatal(err)
+		}
+		if k != w || v != w*10 {
+			t.Fatalf("pop = %d,%d want %d,%d", k, v, w, w*10)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatal("not empty")
+	}
+}
+
+func TestHeapsortLarge(t *testing.T) {
+	q, _, pool := newQueue(t, 8)
+	defer q.Close()
+	rng := rand.New(rand.NewSource(1))
+	n := 5000
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(rng.Intn(100000))
+		if err := q.Push(keys[i], uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.Runs() == 0 {
+		t.Fatal("expected spills to disk")
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for i := 0; i < n; i++ {
+		k, _, ok, err := q.PopMin()
+		if err != nil || !ok {
+			t.Fatalf("pop %d: ok=%v err=%v", i, ok, err)
+		}
+		if k != keys[i] {
+			t.Fatalf("pop %d = %d, want %d", i, k, keys[i])
+		}
+	}
+	if _, _, ok, _ := q.PopMin(); ok {
+		t.Fatal("queue should be empty")
+	}
+	q.Close()
+	if pool.InUse() != 0 {
+		t.Fatalf("leaked %d frames", pool.InUse())
+	}
+}
+
+func TestInterleavedPushPop(t *testing.T) {
+	q, _, _ := newQueue(t, 8)
+	defer q.Close()
+	rng := rand.New(rand.NewSource(2))
+	var ref []uint64
+	for i := 0; i < 8000; i++ {
+		if rng.Intn(3) != 0 || len(ref) == 0 {
+			k := uint64(rng.Intn(10000))
+			q.Push(k, 0)
+			ref = append(ref, k)
+			sort.Slice(ref, func(a, b int) bool { return ref[a] < ref[b] })
+		} else {
+			k, _, ok, err := q.PopMin()
+			if err != nil || !ok {
+				t.Fatal(err)
+			}
+			if k != ref[0] {
+				t.Fatalf("step %d: pop %d, want %d", i, k, ref[0])
+			}
+			ref = ref[1:]
+		}
+	}
+	if q.Len() != int64(len(ref)) {
+		t.Fatalf("len %d, want %d", q.Len(), len(ref))
+	}
+}
+
+func TestRunCompaction(t *testing.T) {
+	// A tiny pool forces frequent spills, which must trigger compaction
+	// rather than exhausting reader frames.
+	q, _, _ := newQueue(t, 6)
+	defer q.Close()
+	n := 4000
+	rng := rand.New(rand.NewSource(3))
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(rng.Intn(1 << 30))
+		if err := q.Push(keys[i], 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.Runs() > q.maxRuns {
+		t.Fatalf("runs %d exceed budget %d", q.Runs(), q.maxRuns)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for i := 0; i < n; i++ {
+		k, _, ok, err := q.PopMin()
+		if err != nil || !ok || k != keys[i] {
+			t.Fatalf("pop %d = %d,%v,%v want %d", i, k, ok, err, keys[i])
+		}
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	q, _, _ := newQueue(t, 8)
+	defer q.Close()
+	for i := 0; i < 300; i++ {
+		q.Push(7, uint64(i))
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < 300; i++ {
+		k, v, ok, err := q.PopMin()
+		if err != nil || !ok || k != 7 {
+			t.Fatal("duplicate key lost")
+		}
+		if seen[v] {
+			t.Fatalf("value %d popped twice", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestClosedQueue(t *testing.T) {
+	q, _, pool := newQueue(t, 8)
+	q.Push(1, 1)
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal("double close should be nil")
+	}
+	if err := q.Push(2, 2); err != ErrClosed {
+		t.Fatalf("push after close: %v", err)
+	}
+	if _, _, _, err := q.PopMin(); err != ErrClosed {
+		t.Fatalf("pop after close: %v", err)
+	}
+	if pool.InUse() != 0 {
+		t.Fatalf("leaked %d frames", pool.InUse())
+	}
+}
+
+func TestTinyPoolRejected(t *testing.T) {
+	vol := pdm.MustVolume(pdm.Config{BlockBytes: 64, MemBlocks: 3, Disks: 1})
+	if _, err := New(vol, pdm.PoolFor(vol)); err == nil {
+		t.Fatal("3-frame pool should be rejected")
+	}
+}
+
+// Property: popping everything yields the multiset sorted, for arbitrary
+// inputs.
+func TestQuickHeapsort(t *testing.T) {
+	f := func(keys []uint16) bool {
+		if len(keys) > 2000 {
+			keys = keys[:2000]
+		}
+		vol := pdm.MustVolume(pdm.Config{BlockBytes: 64, MemBlocks: 8, Disks: 1})
+		pool := pdm.PoolFor(vol)
+		q, err := New(vol, pool)
+		if err != nil {
+			return false
+		}
+		defer q.Close()
+		for i, k := range keys {
+			if err := q.Push(uint64(k), uint64(i)); err != nil {
+				return false
+			}
+		}
+		want := append([]uint16(nil), keys...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for _, w := range want {
+			k, _, ok, err := q.PopMin()
+			if err != nil || !ok || k != uint64(w) {
+				return false
+			}
+		}
+		_, _, ok, _ := q.PopMin()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,36 @@
+package record
+
+import "encoding/binary"
+
+// Keyed attaches a uint64 sort key to an arbitrary payload. It is the
+// standard trick behind sort-based permuting, time-forward processing, and
+// distribution sweep: tag each item with the key it must travel under, sort,
+// then strip the tag.
+type Keyed[T any] struct {
+	Key   uint64
+	Value T
+}
+
+// KeyedCodec encodes Keyed[T] as an 8-byte key followed by the payload
+// encoding.
+type KeyedCodec[T any] struct {
+	// C encodes the payload.
+	C Codec[T]
+}
+
+// Size implements Codec.
+func (k KeyedCodec[T]) Size() int { return 8 + k.C.Size() }
+
+// Encode implements Codec.
+func (k KeyedCodec[T]) Encode(b []byte, v Keyed[T]) {
+	binary.LittleEndian.PutUint64(b[0:8], v.Key)
+	k.C.Encode(b[8:], v.Value)
+}
+
+// Decode implements Codec.
+func (k KeyedCodec[T]) Decode(b []byte) Keyed[T] {
+	return Keyed[T]{
+		Key:   binary.LittleEndian.Uint64(b[0:8]),
+		Value: k.C.Decode(b[8:]),
+	}
+}

@@ -1,0 +1,383 @@
+// Package stream provides block-oriented sequential files, readers, and
+// writers over a pdm.Volume.
+//
+// A File is an ordered sequence of records packed into whole blocks. Readers
+// and writers move data strictly in block units and draw their buffers from
+// a pdm.Pool, so every transfer is visible in the volume's I/O counters and
+// every buffer counts against the memory budget M.
+//
+// Readers and writers may be striped: a width-w reader fetches w consecutive
+// blocks as one parallel batch, which is exactly the disk-striping technique
+// the survey analyses (Scan speeds up by a factor of D; Sort pays a reduced
+// merge arity).
+package stream
+
+import (
+	"errors"
+	"fmt"
+
+	"em/internal/pdm"
+	"em/internal/record"
+)
+
+// ErrClosed reports use of a closed reader or writer.
+var ErrClosed = errors.New("stream: closed")
+
+// File is a sequence of N records of type T stored in whole blocks on a
+// volume. The block list is catalog metadata (held in memory, as a real
+// system holds extent maps); record data lives only on the volume.
+type File[T any] struct {
+	vol    *pdm.Volume
+	codec  record.Codec[T]
+	blocks []int64
+	n      int64
+}
+
+// NewFile creates an empty file on vol.
+func NewFile[T any](vol *pdm.Volume, codec record.Codec[T]) *File[T] {
+	return &File[T]{vol: vol, codec: codec}
+}
+
+// Vol returns the underlying volume.
+func (f *File[T]) Vol() *pdm.Volume { return f.vol }
+
+// Codec returns the file's record codec.
+func (f *File[T]) Codec() record.Codec[T] { return f.codec }
+
+// Len returns the number of records in the file.
+func (f *File[T]) Len() int64 { return f.n }
+
+// Blocks returns the number of blocks occupied.
+func (f *File[T]) Blocks() int { return len(f.blocks) }
+
+// PerBlock returns the number of records that fit in one block (the model's
+// B, in records).
+func (f *File[T]) PerBlock() int { return f.vol.BlockBytes() / f.codec.Size() }
+
+// Release returns every block of the file to the volume's free list and
+// empties the file.
+func (f *File[T]) Release() {
+	for _, b := range f.blocks {
+		f.vol.Free(b)
+	}
+	f.blocks = f.blocks[:0]
+	f.n = 0
+}
+
+// Writer appends records to a File block by block. A width-w writer buffers
+// w blocks and flushes them as one parallel batch.
+type Writer[T any] struct {
+	f      *File[T]
+	pool   *pdm.Pool
+	frames []*pdm.Frame
+	width  int
+	filled int // records buffered across frames
+	closed bool
+}
+
+// NewWriter creates a width-1 writer (one buffer frame).
+func NewWriter[T any](f *File[T], pool *pdm.Pool) (*Writer[T], error) {
+	return NewStripedWriter(f, pool, 1)
+}
+
+// NewStripedWriter creates a writer that buffers width blocks and writes
+// them as single parallel batches. width is typically the volume's disk
+// count D.
+func NewStripedWriter[T any](f *File[T], pool *pdm.Pool, width int) (*Writer[T], error) {
+	if width < 1 {
+		return nil, fmt.Errorf("stream: writer width must be >= 1, got %d", width)
+	}
+	frames, err := pool.AllocN(width)
+	if err != nil {
+		return nil, err
+	}
+	w := &Writer[T]{f: f, pool: pool, frames: frames, width: width}
+	// Appending to a file whose last block is partially filled: reload that
+	// block into the first frame and continue packing it, so records stay
+	// contiguous for readers.
+	if tail := int(f.n % int64(f.PerBlock())); tail != 0 {
+		last := f.blocks[len(f.blocks)-1]
+		if err := f.vol.ReadBlock(last, frames[0].Buf); err != nil {
+			pdm.ReleaseAll(frames)
+			return nil, err
+		}
+		f.blocks = f.blocks[:len(f.blocks)-1]
+		f.vol.Free(last)
+		w.filled = tail
+	}
+	return w, nil
+}
+
+// Append adds one record to the file.
+func (w *Writer[T]) Append(v T) error {
+	if w.closed {
+		return ErrClosed
+	}
+	per := w.f.PerBlock()
+	cap := per * w.width
+	if w.filled == cap {
+		if err := w.flush(w.width); err != nil {
+			return err
+		}
+	}
+	frame := w.frames[w.filled/per]
+	off := (w.filled % per) * w.f.codec.Size()
+	w.f.codec.Encode(frame.Buf[off:], v)
+	w.filled++
+	w.f.n++
+	return nil
+}
+
+// flush writes the first nFrames buffered frames to freshly allocated blocks.
+func (w *Writer[T]) flush(nFrames int) error {
+	if nFrames == 0 {
+		return nil
+	}
+	base := w.f.vol.Alloc(nFrames)
+	addrs := make([]int64, nFrames)
+	bufs := make([][]byte, nFrames)
+	for i := 0; i < nFrames; i++ {
+		addrs[i] = base + int64(i)
+		bufs[i] = w.frames[i].Buf
+		w.f.blocks = append(w.f.blocks, addrs[i])
+	}
+	if err := w.f.vol.BatchWrite(addrs, bufs); err != nil {
+		return err
+	}
+	w.filled = 0
+	return nil
+}
+
+// Close flushes any partial buffer and releases the writer's frames. The
+// final block may be partially filled; File.Len records the true count.
+func (w *Writer[T]) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	per := w.f.PerBlock()
+	full := (w.filled + per - 1) / per
+	err := w.flush(full)
+	pdm.ReleaseAll(w.frames)
+	w.frames = nil
+	return err
+}
+
+// Reader iterates a File's records in order. A width-w reader prefetches w
+// blocks per parallel batch.
+type Reader[T any] struct {
+	f      *File[T]
+	pool   *pdm.Pool
+	frames []*pdm.Frame
+	width  int
+	block  int   // index of next block to fetch
+	avail  int   // records available in the buffered frames
+	pos    int   // next record offset within buffered frames
+	read   int64 // records returned so far
+	closed bool
+}
+
+// NewReader creates a width-1 reader over f.
+func NewReader[T any](f *File[T], pool *pdm.Pool) (*Reader[T], error) {
+	return NewStripedReader(f, pool, 1)
+}
+
+// NewStripedReader creates a reader that fetches width blocks per parallel
+// batch.
+func NewStripedReader[T any](f *File[T], pool *pdm.Pool, width int) (*Reader[T], error) {
+	if width < 1 {
+		return nil, fmt.Errorf("stream: reader width must be >= 1, got %d", width)
+	}
+	frames, err := pool.AllocN(width)
+	if err != nil {
+		return nil, err
+	}
+	return &Reader[T]{f: f, pool: pool, frames: frames, width: width}, nil
+}
+
+// Next returns the next record. ok is false at end of file.
+func (r *Reader[T]) Next() (v T, ok bool, err error) {
+	if r.closed {
+		return v, false, ErrClosed
+	}
+	if r.read >= r.f.n {
+		return v, false, nil
+	}
+	if r.pos == r.avail {
+		if err := r.fill(); err != nil {
+			return v, false, err
+		}
+	}
+	per := r.f.PerBlock()
+	frame := r.frames[r.pos/per]
+	off := (r.pos % per) * r.f.codec.Size()
+	v = r.f.codec.Decode(frame.Buf[off:])
+	r.pos++
+	r.read++
+	return v, true, nil
+}
+
+// fill fetches the next batch of blocks.
+func (r *Reader[T]) fill() error {
+	want := r.width
+	if rem := len(r.f.blocks) - r.block; rem < want {
+		want = rem
+	}
+	if want <= 0 {
+		return fmt.Errorf("stream: read past end of file blocks")
+	}
+	addrs := make([]int64, want)
+	bufs := make([][]byte, want)
+	for i := 0; i < want; i++ {
+		addrs[i] = r.f.blocks[r.block+i]
+		bufs[i] = r.frames[i].Buf
+	}
+	if err := r.f.vol.BatchRead(addrs, bufs); err != nil {
+		return err
+	}
+	r.block += want
+	r.avail = want * r.f.PerBlock()
+	r.pos = 0
+	return nil
+}
+
+// Peek returns the next record without consuming it.
+func (r *Reader[T]) Peek() (v T, ok bool, err error) {
+	if r.closed {
+		return v, false, ErrClosed
+	}
+	if r.read >= r.f.n {
+		return v, false, nil
+	}
+	if r.pos == r.avail {
+		if err := r.fill(); err != nil {
+			return v, false, err
+		}
+	}
+	per := r.f.PerBlock()
+	frame := r.frames[r.pos/per]
+	off := (r.pos % per) * r.f.codec.Size()
+	return r.f.codec.Decode(frame.Buf[off:]), true, nil
+}
+
+// Remaining returns the number of records not yet returned.
+func (r *Reader[T]) Remaining() int64 { return r.f.n - r.read }
+
+// Close releases the reader's frames.
+func (r *Reader[T]) Close() {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	pdm.ReleaseAll(r.frames)
+	r.frames = nil
+}
+
+// ForEach streams every record of f through fn using a width-1 reader.
+func ForEach[T any](f *File[T], pool *pdm.Pool, fn func(T) error) error {
+	r, err := NewReader(f, pool)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	for {
+		v, ok, err := r.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if err := fn(v); err != nil {
+			return err
+		}
+	}
+}
+
+// FromSlice writes vs into a fresh file on vol, charging the usual write
+// I/Os. It is the standard way tests and examples materialise inputs.
+func FromSlice[T any](vol *pdm.Volume, pool *pdm.Pool, codec record.Codec[T], vs []T) (*File[T], error) {
+	f := NewFile[T](vol, codec)
+	w, err := NewWriter(f, pool)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range vs {
+		if err := w.Append(v); err != nil {
+			w.Close()
+			return nil, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// ToSlice reads the whole file into memory, charging the usual read I/Os.
+// Intended for tests and small outputs only.
+func ToSlice[T any](f *File[T], pool *pdm.Pool) ([]T, error) {
+	out := make([]T, 0, f.Len())
+	err := ForEach(f, pool, func(v T) error {
+		out = append(out, v)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadRecordAt fetches record index i of f with a single block read, using
+// one temporary frame. It is deliberately expensive — one I/O per record —
+// and exists to implement the survey's naive baselines faithfully.
+func ReadRecordAt[T any](f *File[T], pool *pdm.Pool, i int64) (T, error) {
+	var zero T
+	if i < 0 || i >= f.n {
+		return zero, fmt.Errorf("stream: record index %d out of range [0,%d)", i, f.n)
+	}
+	fr, err := pool.Alloc()
+	if err != nil {
+		return zero, err
+	}
+	defer fr.Release()
+	per := int64(f.PerBlock())
+	if err := f.vol.ReadBlock(f.blocks[i/per], fr.Buf); err != nil {
+		return zero, err
+	}
+	off := int(i%per) * f.codec.Size()
+	return f.codec.Decode(fr.Buf[off:]), nil
+}
+
+// WriteRecordAt overwrites record index i of f via read-modify-write of its
+// block (one read plus one write), again modelling the naive random-access
+// cost. The file must already contain index i.
+func WriteRecordAt[T any](f *File[T], pool *pdm.Pool, i int64, v T) error {
+	if i < 0 || i >= f.n {
+		return fmt.Errorf("stream: record index %d out of range [0,%d)", i, f.n)
+	}
+	fr, err := pool.Alloc()
+	if err != nil {
+		return err
+	}
+	defer fr.Release()
+	per := int64(f.PerBlock())
+	addr := f.blocks[i/per]
+	if err := f.vol.ReadBlock(addr, fr.Buf); err != nil {
+		return err
+	}
+	off := int(i%per) * f.codec.Size()
+	f.codec.Encode(fr.Buf[off:], v)
+	return f.vol.WriteBlock(addr, fr.Buf)
+}
+
+// AppendFileLen grows f's logical length to include records written directly
+// via block addresses by lower-level code. Most callers never need this.
+func AppendFileLen[T any](f *File[T], addrs []int64, n int64) {
+	f.blocks = append(f.blocks, addrs...)
+	f.n += n
+}
+
+// BlockAddrs exposes the file's block address list for algorithms (such as
+// the naive permuter and the matrix routines) that address blocks directly.
+func BlockAddrs[T any](f *File[T]) []int64 { return f.blocks }

@@ -1,0 +1,218 @@
+// Package timefwd implements time-forward processing, the survey's
+// flagship application of external priority queues: evaluating a DAG
+// (circuit) whose description lives on disk.
+//
+// Vertices are numbered in topological order; each vertex v computes a
+// value from the values of its in-neighbours. Visiting vertices in order
+// and fetching predecessor values directly would cost one random I/O per
+// edge, Θ(E). Time-forward processing instead *sends* each computed value
+// forward in time through an external priority queue keyed by the receiving
+// vertex: when the scan reaches v, every incoming value is sitting at the
+// front of the queue. Total cost: O(Sort(E)) I/Os.
+package timefwd
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"em/internal/extsort"
+	"em/internal/pdm"
+	"em/internal/pqueue"
+	"em/internal/record"
+	"em/internal/stream"
+)
+
+// ErrNotTopological reports an edge (u, v) with u >= v: vertex ids must be
+// a topological numbering.
+var ErrNotTopological = errors.New("timefwd: edge violates topological numbering")
+
+// Combine computes vertex v's value from its in-neighbours' values, given
+// in ascending order. A source vertex receives an empty slice.
+type Combine func(v int64, inputs []int64) int64
+
+// Eval evaluates a DAG on vertices 0..v-1 described by (u, w) arc pairs
+// with u < w, using time-forward processing: O(Sort(E)) I/Os. It returns
+// (vertex, value) pairs sorted by vertex.
+func Eval(vol *pdm.Volume, pool *pdm.Pool, v int64, arcs *stream.File[record.Pair], fn Combine) (*stream.File[record.Pair], error) {
+	// Arcs sorted by source align with the vertex scan.
+	sorted, err := extsort.MergeSort(arcs, pool, func(a, b record.Pair) bool {
+		if a.A != b.A {
+			return a.A < b.A
+		}
+		return a.B < b.B
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	// Open the scan's writer and reader before creating the queue: the
+	// queue budgets its in-memory heap and run count from the frames still
+	// free at construction time.
+	out := stream.NewFile[record.Pair](vol, record.PairCodec{})
+	w, err := stream.NewWriter(out, pool)
+	if err != nil {
+		return nil, err
+	}
+	ar, err := stream.NewReader(sorted, pool)
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
+	defer ar.Close()
+
+	q, err := pqueue.New(vol, pool)
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
+	defer q.Close()
+
+	arc, arcOK, err := ar.Next()
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
+	var inputs []int64
+	for u := int64(0); u < v; u++ {
+		// Drain every value sent to u. Keys are vertex ids, so the queue's
+		// minimum is exactly the current vertex while such items exist.
+		inputs = inputs[:0]
+		for {
+			k, val, ok, err := q.PopMin()
+			if err != nil {
+				w.Close()
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			if k != uint64(u) {
+				// Value for a later vertex: push it back and stop draining.
+				if err := q.Push(k, val); err != nil {
+					w.Close()
+					return nil, err
+				}
+				break
+			}
+			inputs = append(inputs, int64(val))
+		}
+		sort.Slice(inputs, func(i, j int) bool { return inputs[i] < inputs[j] })
+		val := fn(u, inputs)
+		if err := w.Append(record.Pair{A: u, B: val}); err != nil {
+			w.Close()
+			return nil, err
+		}
+		// Forward the value along every out-arc.
+		for arcOK && arc.A == u {
+			if arc.B <= u || arc.B >= v {
+				w.Close()
+				return nil, fmt.Errorf("%w: (%d, %d) with V=%d", ErrNotTopological, arc.A, arc.B, v)
+			}
+			if err := q.Push(uint64(arc.B), uint64(val)); err != nil {
+				w.Close()
+				return nil, err
+			}
+			arc, arcOK, err = ar.Next()
+			if err != nil {
+				w.Close()
+				return nil, err
+			}
+		}
+		if arcOK && arc.A < u {
+			w.Close()
+			return nil, fmt.Errorf("%w: arc from %d after vertex %d", ErrNotTopological, arc.A, u)
+		}
+	}
+	if arcOK {
+		w.Close()
+		return nil, fmt.Errorf("%w: arc from %d beyond last vertex", ErrNotTopological, arc.A)
+	}
+	sorted.Release()
+	return out, w.Close()
+}
+
+// EvalNaive is the baseline: values are kept in a disk array and every arc
+// triggers a random read of its source's value — Θ(E) I/Os plus the scan.
+func EvalNaive(vol *pdm.Volume, pool *pdm.Pool, v int64, arcs *stream.File[record.Pair], fn Combine) (*stream.File[record.Pair], error) {
+	// Incoming arcs sorted by destination align with the vertex scan.
+	sorted, err := extsort.MergeSort(arcs, pool, func(a, b record.Pair) bool {
+		if a.B != b.B {
+			return a.B < b.B
+		}
+		return a.A < b.A
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := stream.NewFile[record.Pair](vol, record.PairCodec{})
+	w, err := stream.NewWriter(out, pool)
+	if err != nil {
+		return nil, err
+	}
+	// Pre-size the value array with zeros so WriteRecordAt can address it.
+	vals := stream.NewFile[record.Pair](vol, record.PairCodec{})
+	vw, err := stream.NewWriter(vals, pool)
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
+	for i := int64(0); i < v; i++ {
+		if err := vw.Append(record.Pair{A: i, B: 0}); err != nil {
+			vw.Close()
+			w.Close()
+			return nil, err
+		}
+	}
+	if err := vw.Close(); err != nil {
+		w.Close()
+		return nil, err
+	}
+
+	ar, err := stream.NewReader(sorted, pool)
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
+	defer ar.Close()
+	arc, arcOK, err := ar.Next()
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
+	var inputs []int64
+	for u := int64(0); u < v; u++ {
+		inputs = inputs[:0]
+		for arcOK && arc.B == u {
+			if arc.A >= u {
+				w.Close()
+				return nil, fmt.Errorf("%w: (%d, %d)", ErrNotTopological, arc.A, arc.B)
+			}
+			// One random block read per arc: the Θ(E) term.
+			src, err := stream.ReadRecordAt(vals, pool, arc.A)
+			if err != nil {
+				w.Close()
+				return nil, err
+			}
+			inputs = append(inputs, src.B)
+			arc, arcOK, err = ar.Next()
+			if err != nil {
+				w.Close()
+				return nil, err
+			}
+		}
+		sort.Slice(inputs, func(i, j int) bool { return inputs[i] < inputs[j] })
+		val := fn(u, inputs)
+		if err := stream.WriteRecordAt(vals, pool, u, record.Pair{A: u, B: val}); err != nil {
+			w.Close()
+			return nil, err
+		}
+		if err := w.Append(record.Pair{A: u, B: val}); err != nil {
+			w.Close()
+			return nil, err
+		}
+	}
+	sorted.Release()
+	vals.Release()
+	return out, w.Close()
+}

@@ -1,0 +1,248 @@
+package timefwd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"em/internal/pdm"
+	"em/internal/record"
+	"em/internal/stream"
+)
+
+func newEnv(t testing.TB) (*pdm.Volume, *pdm.Pool) {
+	t.Helper()
+	vol := pdm.MustVolume(pdm.Config{BlockBytes: 256, MemBlocks: 12, Disks: 1})
+	return vol, pdm.PoolFor(vol)
+}
+
+// sumCombine is the canonical test circuit: value(v) = v + Σ inputs.
+func sumCombine(v int64, inputs []int64) int64 {
+	s := v
+	for _, x := range inputs {
+		s += x
+	}
+	return s
+}
+
+// refEval evaluates the DAG in memory.
+func refEval(v int64, arcs [][2]int64, fn Combine) []int64 {
+	in := make(map[int64][]int64)
+	for _, a := range arcs {
+		in[a[1]] = append(in[a[1]], a[0])
+	}
+	vals := make([]int64, v)
+	for u := int64(0); u < v; u++ {
+		var inputs []int64
+		for _, src := range in[u] {
+			inputs = append(inputs, vals[src])
+		}
+		// Mirror Eval's determinism: inputs ascending by value.
+		for i := 1; i < len(inputs); i++ {
+			for j := i; j > 0 && inputs[j-1] > inputs[j]; j-- {
+				inputs[j-1], inputs[j] = inputs[j], inputs[j-1]
+			}
+		}
+		vals[u] = fn(u, inputs)
+	}
+	return vals
+}
+
+func arcFile(t testing.TB, vol *pdm.Volume, pool *pdm.Pool, arcs [][2]int64) *stream.File[record.Pair] {
+	t.Helper()
+	pairs := make([]record.Pair, len(arcs))
+	for i, a := range arcs {
+		pairs[i] = record.Pair{A: a[0], B: a[1]}
+	}
+	f, err := stream.FromSlice(vol, pool, record.PairCodec{}, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// randomDAG draws arcs (u, w) with u < w, deduplicated. e is capped at the
+// number of distinct forward arcs so generation always terminates.
+func randomDAG(rng *rand.Rand, v, e int) [][2]int64 {
+	if max := v * (v - 1) / 2; e > max {
+		e = max
+	}
+	seen := map[[2]int64]bool{}
+	var arcs [][2]int64
+	for len(arcs) < e {
+		u := rng.Int63n(int64(v - 1))
+		w := u + 1 + rng.Int63n(int64(v)-u-1)
+		a := [2]int64{u, w}
+		if !seen[a] {
+			seen[a] = true
+			arcs = append(arcs, a)
+		}
+	}
+	return arcs
+}
+
+func checkDAG(t *testing.T, v int64, arcs [][2]int64) {
+	t.Helper()
+	vol, pool := newEnv(t)
+	af := arcFile(t, vol, pool, arcs)
+	out, err := Eval(vol, pool, v, af, sumCombine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := stream.ToSlice(out, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refEval(v, arcs, sumCombine)
+	if int64(len(got)) != v {
+		t.Fatalf("evaluated %d of %d vertices", len(got), v)
+	}
+	for _, p := range got {
+		if want[p.A] != p.B {
+			t.Fatalf("value(%d) = %d, want %d", p.A, p.B, want[p.A])
+		}
+	}
+	if pool.InUse() != 0 {
+		t.Fatalf("leaked %d frames", pool.InUse())
+	}
+}
+
+func TestChain(t *testing.T) {
+	// 0 -> 1 -> 2 -> 3: running prefix sums of ids.
+	checkDAG(t, 4, [][2]int64{{0, 1}, {1, 2}, {2, 3}})
+}
+
+func TestDiamond(t *testing.T) {
+	checkDAG(t, 4, [][2]int64{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+}
+
+func TestNoEdges(t *testing.T) {
+	checkDAG(t, 5, nil)
+}
+
+func TestFanInHeavy(t *testing.T) {
+	// Everything feeds the last vertex.
+	var arcs [][2]int64
+	for u := int64(0); u < 99; u++ {
+		arcs = append(arcs, [2]int64{u, 99})
+	}
+	checkDAG(t, 100, arcs)
+}
+
+func TestRandomDAGs(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 5; trial++ {
+		v := 50 + rng.Intn(300)
+		e := v + rng.Intn(3*v)
+		checkDAG(t, int64(v), randomDAG(rng, v, e))
+	}
+}
+
+func TestNaiveMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	v := 200
+	arcs := randomDAG(rng, v, 600)
+	vol, pool := newEnv(t)
+	af := arcFile(t, vol, pool, arcs)
+	a, err := Eval(vol, pool, int64(v), af, sumCombine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EvalNaive(vol, pool, int64(v), af, sumCombine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, _ := stream.ToSlice(a, pool)
+	bs, _ := stream.ToSlice(b, pool)
+	if len(as) != len(bs) {
+		t.Fatalf("lengths differ: %d vs %d", len(as), len(bs))
+	}
+	for i := range as {
+		if as[i] != bs[i] {
+			t.Fatalf("disagree at %d: %+v vs %+v", i, as[i], bs[i])
+		}
+	}
+}
+
+func TestRejectsNonTopological(t *testing.T) {
+	vol, pool := newEnv(t)
+	cases := [][][2]int64{
+		{{2, 1}},  // backward
+		{{1, 1}},  // self loop
+		{{0, 99}}, // out of range
+	}
+	for _, arcs := range cases {
+		af := arcFile(t, vol, pool, arcs)
+		if _, err := Eval(vol, pool, 3, af, sumCombine); err == nil {
+			t.Errorf("arcs %v accepted", arcs)
+		}
+	}
+}
+
+func TestTimeForwardBeatsNaiveOnIOs(t *testing.T) {
+	// The survey's claim: O(Sort(E)) ≪ Θ(E) for large blocks.
+	vol := pdm.MustVolume(pdm.Config{BlockBytes: 4096, MemBlocks: 16, Disks: 1})
+	pool := pdm.PoolFor(vol)
+	rng := rand.New(rand.NewSource(29))
+	v := 5000
+	arcs := randomDAG(rng, v, 4*v)
+	af := arcFile(t, vol, pool, arcs)
+
+	vol.Stats().Reset()
+	if _, err := Eval(vol, pool, int64(v), af, sumCombine); err != nil {
+		t.Fatal(err)
+	}
+	tf := vol.Stats().Total()
+
+	vol.Stats().Reset()
+	if _, err := EvalNaive(vol, pool, int64(v), af, sumCombine); err != nil {
+		t.Fatal(err)
+	}
+	naive := vol.Stats().Total()
+
+	if tf*2 > naive {
+		t.Fatalf("time-forward %d I/Os vs naive %d: expected ≥2x advantage", tf, naive)
+	}
+	t.Logf("time-forward=%d naive=%d (%.1fx)", tf, naive, float64(naive)/float64(tf))
+}
+
+// Property: arbitrary DAGs evaluate to the reference values under a
+// max-combine circuit (order-insensitive, overflow-free).
+func TestQuickMaxCircuit(t *testing.T) {
+	maxCombine := func(v int64, inputs []int64) int64 {
+		m := v
+		for _, x := range inputs {
+			if x > m {
+				m = x
+			}
+		}
+		return m
+	}
+	f := func(seed int64, vRaw, eRaw uint8) bool {
+		v := int(vRaw)%100 + 2
+		e := int(eRaw) % (2 * v)
+		rng := rand.New(rand.NewSource(seed))
+		arcs := randomDAG(rng, v, e)
+		vol := pdm.MustVolume(pdm.Config{BlockBytes: 256, MemBlocks: 12, Disks: 1})
+		pool := pdm.PoolFor(vol)
+		af := arcFile(t, vol, pool, arcs)
+		out, err := Eval(vol, pool, int64(v), af, maxCombine)
+		if err != nil {
+			return false
+		}
+		got, err := stream.ToSlice(out, pool)
+		if err != nil {
+			return false
+		}
+		want := refEval(int64(v), arcs, maxCombine)
+		for _, p := range got {
+			if want[p.A] != p.B {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
