@@ -1,0 +1,27 @@
+# Developer and CI entry points. `make ci` is the gate every change must
+# pass: vet plus the full test suite under the race detector, so a dropped
+# lock in the concurrent I/O engine fails the build rather than a user.
+
+GO ?= go
+
+.PHONY: all build vet test race bench ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Engine and experiment benchmarks (wall-clock + counted I/Os).
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkVolumeBatchRead|BenchmarkAsync' -benchtime 3x .
+
+ci: build vet race

@@ -24,6 +24,27 @@
 //	sorted, _ := em.SortRecords(f, pool, nil)
 //	fmt.Println(vol.Stats()) // exact block reads/writes
 //
+// # Concurrency
+//
+// The volume is a genuinely concurrent I/O engine, not just a counter. Each
+// simulated disk serialises its own transfers behind a per-disk lock, and
+// when Config.DiskLatency is non-zero the volume runs one worker goroutine
+// per disk draining a per-disk request queue, so a striped batch costs the
+// wall-clock time of the worst single disk — the model's parallel-step cost
+// becomes measurable with a stopwatch, and D disks give ≈D-way speedup on
+// striped scans. Volumes with workers should be Closed when done. Volumes
+// and pools are safe for concurrent use; read Stats via Snapshot when I/O
+// may be in flight on other goroutines.
+//
+// On top of the engine, AsyncScan and the SortOptions.Async flag enable
+// forecast-driven overlap: prefetching readers keep their next block group
+// in flight (read-ahead — for a sorted run, the block the survey's forecast
+// selects is exactly the next sequential one) and write-behind writers flush
+// the previous group while the caller fills the next. Asynchronous streams
+// hold double buffers charged to the same Pool, so the memory budget M still
+// binds, and they issue the same batches as their synchronous counterparts,
+// so counted I/Os are unchanged at equal fan-in.
+//
 // The subsystems exposed here are:
 //
 //   - external sorting: MergeSort, DistributionSort, SortViaBTree (baseline)
@@ -69,20 +90,27 @@ import (
 // ---------------------------------------------------------------------------
 
 // Config fixes the device shape of a Parallel Disk Model instance: block
-// size in bytes, memory capacity in blocks (M/B), and disk count D.
+// size in bytes, memory capacity in blocks (M/B), disk count D, and the
+// simulated per-block service time DiskLatency (zero keeps the purely
+// counted model; non-zero starts one worker goroutine per disk and makes
+// parallel-step costs wall-clock measurable — Close such volumes when done).
 type Config = pdm.Config
 
-// Volume is an instrumented block device striped over D simulated disks.
+// Volume is an instrumented block device striped over D simulated disks,
+// safe for concurrent use; transfers to distinct disks proceed in parallel.
 // All I/O performed by the algorithms in this module flows through a Volume
 // and is counted in its Stats.
 type Volume = pdm.Volume
 
 // Pool enforces the internal-memory budget: it lends out at most M/B
-// block-sized frames and fails loudly beyond that.
+// block-sized frames and fails loudly beyond that. Pool is safe for
+// concurrent use, so asynchronous streams charge their double buffers to
+// the same budget.
 type Pool = pdm.Pool
 
 // Stats holds a volume's I/O counters: block reads, block writes, and
-// parallel I/O steps.
+// parallel I/O steps, maintained with per-disk atomic shards. Sequential
+// callers may read fields directly; use Snapshot while I/O is in flight.
 type Stats = pdm.Stats
 
 // Frame is one block-sized buffer on loan from a Pool.
@@ -173,11 +201,48 @@ func ForEach[T any](f *File[T], pool *Pool, fn func(T) error) error {
 }
 
 // ---------------------------------------------------------------------------
+// Asynchronous streams (forecasting read-ahead and write-behind)
+// ---------------------------------------------------------------------------
+
+// PrefetchReader iterates a File like Reader while keeping its next block
+// group in flight on a background goroutine — the survey's forecasting
+// read-ahead for sequential consumers. It holds 2×width pool frames and
+// charges the same I/O counts as a synchronous width-w reader.
+type PrefetchReader[T any] = stream.PrefetchReader[T]
+
+// AsyncWriter appends records like Writer while flushing each full block
+// group behind the caller — double-buffered write-behind at identical I/O
+// counts.
+type AsyncWriter[T any] = stream.AsyncWriter[T]
+
+// NewPrefetchReader creates an asynchronous reader over f fetching width
+// blocks per parallel batch, with the following batch always in flight.
+func NewPrefetchReader[T any](f *File[T], pool *Pool, width int) (*PrefetchReader[T], error) {
+	return stream.NewPrefetchReader(f, pool, width)
+}
+
+// NewAsyncWriter creates a write-behind writer appending to f in batches of
+// width blocks.
+func NewAsyncWriter[T any](f *File[T], pool *Pool, width int) (*AsyncWriter[T], error) {
+	return stream.NewAsyncWriter(f, pool, width)
+}
+
+// AsyncScan streams every record of f through fn with width-1 read-ahead:
+// the next block is fetched while fn processes the current one. I/O counts
+// are identical to ForEach; on a volume with non-zero DiskLatency the
+// wall-clock time overlaps fetch and compute.
+func AsyncScan[T any](f *File[T], pool *Pool, fn func(T) error) error {
+	return stream.AsyncForEach(f, pool, 1, fn)
+}
+
+// ---------------------------------------------------------------------------
 // Sorting (survey §3: fundamental batched problem)
 // ---------------------------------------------------------------------------
 
 // SortOptions tunes the external sorts: striping width, run-formation mode,
-// and a fan-in cap for experiments.
+// a fan-in cap for experiments, and the Async flag, which switches merge
+// sort to forecast-driven prefetching readers and write-behind writers
+// (same counted I/Os at equal fan-in, overlapped wall-clock).
 type SortOptions = extsort.Options
 
 // RunMode selects the run-formation technique for merge sort.

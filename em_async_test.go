@@ -1,0 +1,130 @@
+package em_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"em"
+)
+
+// TestFacadeAsyncScan checks the prefetching scan through the public API:
+// same records, same counted I/Os as ForEach.
+func TestFacadeAsyncScan(t *testing.T) {
+	vol, pool := env(t, 256, 16, 4)
+	recs := randomRecords(rand.New(rand.NewSource(3)), 1000)
+	f, err := em.FromSlice(vol, pool, em.RecordCodec{}, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	vol.Stats().Reset()
+	var syncOut []em.Record
+	if err := em.ForEach(f, pool, func(r em.Record) error {
+		syncOut = append(syncOut, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	syncReads := vol.Stats().Snapshot().Reads
+
+	vol.Stats().Reset()
+	var asyncOut []em.Record
+	if err := em.AsyncScan(f, pool, func(r em.Record) error {
+		asyncOut = append(asyncOut, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	asyncReads := vol.Stats().Snapshot().Reads
+
+	if len(syncOut) != len(asyncOut) {
+		t.Fatalf("lengths %d vs %d", len(syncOut), len(asyncOut))
+	}
+	for i := range syncOut {
+		if syncOut[i] != asyncOut[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+	if syncReads != asyncReads {
+		t.Fatalf("reads differ: sync %d async %d", syncReads, asyncReads)
+	}
+	if pool.InUse() != 0 {
+		t.Fatalf("frame leak: %d", pool.InUse())
+	}
+}
+
+// TestFacadeAsyncSortOnLatencyVolume runs the async sort end to end on a
+// worker-engine volume through the public API and verifies the result.
+func TestFacadeAsyncSortOnLatencyVolume(t *testing.T) {
+	vol := em.MustVolume(em.Config{
+		BlockBytes: 256, MemBlocks: 32, Disks: 4,
+		DiskLatency: 10 * time.Microsecond,
+	})
+	defer vol.Close()
+	pool := em.PoolFor(vol)
+	recs := randomRecords(rand.New(rand.NewSource(9)), 3000)
+	f, err := em.FromSlice(vol, pool, em.RecordCodec{}, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted, err := em.SortRecords(f, pool, &em.SortOptions{Width: 4, Async: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := em.IsSorted(sorted, pool, em.Record.Less)
+	if err != nil || !ok {
+		t.Fatalf("async sort output not sorted (err=%v)", err)
+	}
+	if sorted.Len() != int64(len(recs)) {
+		t.Fatalf("length changed: %d != %d", sorted.Len(), len(recs))
+	}
+	if pool.InUse() != 0 {
+		t.Fatalf("frame leak: %d", pool.InUse())
+	}
+}
+
+// TestFacadePrefetchReaderAndAsyncWriter round-trips through the exported
+// asynchronous stream types.
+func TestFacadePrefetchReaderAndAsyncWriter(t *testing.T) {
+	vol, pool := env(t, 256, 16, 4)
+	f := em.NewFile[em.Record](vol, em.RecordCodec{})
+	w, err := em.NewAsyncWriter(f, pool, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := randomRecords(rand.New(rand.NewSource(5)), 500)
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := em.NewPrefetchReader(f, pool, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	for {
+		v, ok, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if v != recs[i] {
+			t.Fatalf("record %d differs", i)
+		}
+		i++
+	}
+	r.Close()
+	if i != len(recs) {
+		t.Fatalf("read %d records, want %d", i, len(recs))
+	}
+	if pool.InUse() != 0 {
+		t.Fatalf("frame leak: %d", pool.InUse())
+	}
+}

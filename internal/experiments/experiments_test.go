@@ -3,6 +3,7 @@ package experiments
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 // These tests run every experiment at reduced scale and assert the *shape*
@@ -329,5 +330,30 @@ func TestTableString(t *testing.T) {
 	empty := &Table{ID: "TY", Title: "none"}
 	if !strings.Contains(empty.String(), "no rows") {
 		t.Error("empty table should say so")
+	}
+}
+
+func TestF9ParallelEngineShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	tab, err := F9ParallelEngine(1<<11, []int{1, 4}, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, d4 := tab.Rows[0], tab.Rows[1]
+	if d1.Cells["blockReads"] != d4.Cells["blockReads"] {
+		t.Errorf("block reads changed with D: %v vs %v", d1.Cells["blockReads"], d4.Cells["blockReads"])
+	}
+	// The model predicts 4x; 2x leaves headroom for scheduler noise.
+	if speedup := d1.Cells["scanMs"] / d4.Cells["scanMs"]; speedup < 2 {
+		t.Errorf("4-disk scan wall-clock speedup %.2fx, want >= 2x", speedup)
+	}
+	// Forecasting prefetch must not lose to the synchronous scan when
+	// compute shares the clock (it should win; equality tolerates noise).
+	for _, r := range tab.Rows {
+		if r.Cells["asyncMs"] > 1.1*r.Cells["syncMs"] {
+			t.Errorf("%s: prefetch scan %.1fms slower than sync %.1fms", r.Label, r.Cells["asyncMs"], r.Cells["syncMs"])
+		}
 	}
 }

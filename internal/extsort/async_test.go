@@ -1,0 +1,197 @@
+package extsort
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"em/internal/pdm"
+	"em/internal/record"
+	"em/internal/stream"
+)
+
+// sortBoth sorts vs with and without async I/O at the same forced fan-in and
+// returns the two outputs plus the two stats snapshots.
+func sortBoth(t *testing.T, vs []record.Record, mode RunMode, width, fanIn int, latency time.Duration) (syncOut, asyncOut []record.Record, syncStats, asyncStats pdm.Stats) {
+	t.Helper()
+	run := func(async bool) ([]record.Record, pdm.Stats) {
+		cfg := pdm.Config{BlockBytes: 64, MemBlocks: 24, Disks: 4, DiskLatency: latency}
+		vol := pdm.MustVolume(cfg)
+		defer vol.Close()
+		pool := pdm.PoolFor(vol)
+		f, err := stream.FromSlice(vol, pool, record.RecordCodec{}, vs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vol.Stats().Reset()
+		opts := &Options{Width: width, RunMode: mode, ForceFanIn: fanIn, Async: async}
+		out, err := MergeSort(f, pool, record.Record.Less, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := vol.Stats().Snapshot()
+		got, err := stream.ToSlice(out, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pool.InUse() != 0 {
+			t.Fatalf("async=%v: leaked %d frames", async, pool.InUse())
+		}
+		return got, st
+	}
+	syncOut, syncStats = run(false)
+	asyncOut, asyncStats = run(true)
+	return
+}
+
+// TestAsyncMergeSortMatchesSync asserts the forecast-driven async sort
+// produces byte-identical output to the synchronous path across run modes
+// and widths. (Whole-sort I/O counts may differ, because double-buffered
+// streams leave fewer frames for the run buffer and thus form more runs;
+// TestAsyncMergeRunsIdenticalStats pins counts at equal run structure.)
+func TestAsyncMergeSortMatchesSync(t *testing.T) {
+	for _, mode := range []RunMode{LoadSort, ReplacementSelection} {
+		for _, width := range []int{1, 2} {
+			for _, n := range []int{0, 1, 37, 256, 1000} {
+				vs := make([]record.Record, n)
+				for i := range vs {
+					vs[i] = record.Record{Key: uint64((i * 2654435761) % 65536), Val: uint64(i)}
+				}
+				sOut, aOut, _, _ := sortBoth(t, vs, mode, width, 3, 0)
+				if len(sOut) != len(aOut) || len(sOut) != n {
+					t.Fatalf("%v w=%d n=%d: lengths sync=%d async=%d", mode, width, n, len(sOut), len(aOut))
+				}
+				for i := range sOut {
+					if sOut[i] != aOut[i] {
+						t.Fatalf("%v w=%d n=%d: record %d differs: %v vs %v", mode, width, n, i, sOut[i], aOut[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAsyncMergeRunsIdenticalStats forms the same runs synchronously on two
+// identical volumes, merges one set synchronously and one asynchronously at
+// the same fan-in, and asserts the outputs and every merge-phase counter are
+// identical — the async engine must change overlap, never the counted model.
+func TestAsyncMergeRunsIdenticalStats(t *testing.T) {
+	for _, width := range []int{1, 2} {
+		for _, n := range []int{64, 256, 1000} {
+			vs := make([]record.Record, n)
+			for i := range vs {
+				vs[i] = record.Record{Key: uint64((i * 40503) % 4096), Val: uint64(i)}
+			}
+			run := func(async bool) ([]record.Record, pdm.Stats) {
+				vol := pdm.MustVolume(pdm.Config{BlockBytes: 64, MemBlocks: 24, Disks: 4})
+				pool := pdm.PoolFor(vol)
+				f, err := stream.FromSlice(vol, pool, record.RecordCodec{}, vs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Run formation is always synchronous here so both sides
+				// merge byte-identical run sets.
+				formOpts := &Options{Width: width, ForceFanIn: 3}
+				runs, err := FormRuns(f, pool, record.Record.Less, formOpts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				vol.Stats().Reset()
+				mergeOpts := &Options{Width: width, ForceFanIn: 3, Async: async}
+				out, err := MergeRuns(runs, pool, record.Record.Less, mergeOpts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				st := vol.Stats().Snapshot()
+				got, err := stream.ToSlice(out, pool)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return got, st
+			}
+			sOut, sSt := run(false)
+			aOut, aSt := run(true)
+			if len(sOut) != len(aOut) {
+				t.Fatalf("w=%d n=%d: lengths %d vs %d", width, n, len(sOut), len(aOut))
+			}
+			for i := range sOut {
+				if sOut[i] != aOut[i] {
+					t.Fatalf("w=%d n=%d: record %d differs", width, n, i)
+				}
+			}
+			if sSt.Reads != aSt.Reads || sSt.Writes != aSt.Writes || sSt.Steps != aSt.Steps {
+				t.Fatalf("w=%d n=%d: merge stats differ: sync %+v async %+v", width, n, sSt, aSt)
+			}
+		}
+	}
+}
+
+// TestAsyncMergeSortQuick is the quick-check property over arbitrary inputs,
+// run against a worker-engine volume so the async path genuinely overlaps
+// I/O.
+func TestAsyncMergeSortQuick(t *testing.T) {
+	f := func(keys []uint16) bool {
+		if len(keys) > 800 {
+			keys = keys[:800]
+		}
+		vs := make([]record.Record, len(keys))
+		for i, k := range keys {
+			vs[i] = record.Record{Key: uint64(k), Val: uint64(i)}
+		}
+		sOut, aOut, _, _ := sortBoth(t, vs, LoadSort, 2, 4, 2*time.Microsecond)
+		if len(sOut) != len(aOut) {
+			return false
+		}
+		for i := range sOut {
+			if sOut[i] != aOut[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAsyncHalvesFanIn documents the memory trade: double-buffered streams
+// cost twice the frames, so the supported fan-in halves.
+func TestAsyncHalvesFanIn(t *testing.T) {
+	pool := pdm.NewPool(64, 20)
+	syncOpts := &Options{Width: 2}
+	asyncOpts := &Options{Width: 2, Async: true}
+	if got, want := maxFanIn(pool, syncOpts), 9; got != want {
+		t.Fatalf("sync fan-in = %d, want %d", got, want)
+	}
+	if got, want := maxFanIn(pool, asyncOpts), 4; got != want {
+		t.Fatalf("async fan-in = %d, want %d", got, want)
+	}
+}
+
+// TestMinHeapMatchesContainerHeapSemantics pins the typed heap to the
+// container/heap element order for duplicate keys, protecting merge
+// determinism across the boxing removal.
+func TestMinHeapMatchesContainerHeapSemantics(t *testing.T) {
+	h := &minHeap[int]{less: func(a, b int) bool { return a < b }}
+	h.items = []int{5, 3, 8, 1, 9, 2, 7}
+	h.Init()
+	h.Push(4)
+	h.Push(0)
+	var got []int
+	for h.Len() > 0 {
+		got = append(got, h.Pop())
+	}
+	want := []int{0, 1, 2, 3, 4, 5, 7, 8, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop sequence %v, want %v", got, want)
+		}
+	}
+	// ReplaceTop behaves like heap.Fix at the root.
+	h.items = []int{2, 5, 3}
+	h.Init()
+	h.ReplaceTop(7)
+	if h.Top() != 3 {
+		t.Fatalf("top after ReplaceTop = %d, want 3", h.Top())
+	}
+}

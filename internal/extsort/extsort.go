@@ -11,7 +11,6 @@
 package extsort
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"sort"
@@ -59,6 +58,16 @@ type Options struct {
 	// the pool would allow; zero means use the maximum. Experiments use it
 	// to sweep the effective M/B.
 	ForceFanIn int
+	// Async enables forecast-driven asynchronous I/O for merge sort: every
+	// run reader keeps its next block group in flight (the survey's
+	// forecasting read-ahead — for a sorted run the block holding the
+	// smallest pending key is simply its next sequential block), and writers
+	// flush behind the caller. Each open stream then holds 2×Width frames
+	// instead of Width, so the maximum fan-in halves — the same
+	// memory-for-overlap trade the survey charges striped merging. I/O
+	// counters are identical to the synchronous path at equal fan-in; only
+	// wall-clock overlap changes.
+	Async bool
 }
 
 func (o *Options) width() int {
@@ -73,6 +82,50 @@ func (o *Options) runMode() RunMode {
 		return LoadSort
 	}
 	return o.RunMode
+}
+
+func (o *Options) async() bool { return o != nil && o.Async }
+
+// streamFrames returns the pool frames one open reader or writer consumes:
+// width frames synchronously, double that with asynchronous double
+// buffering.
+func (o *Options) streamFrames() int {
+	if o.async() {
+		return 2 * o.width()
+	}
+	return o.width()
+}
+
+// source is the record-producing side shared by synchronous and prefetching
+// readers.
+type source[T any] interface {
+	Next() (v T, ok bool, err error)
+	Close()
+}
+
+// sink is the record-consuming side shared by synchronous and write-behind
+// writers.
+type sink[T any] interface {
+	Append(v T) error
+	Close() error
+}
+
+// openSource opens a reader over f according to opts: striped when
+// synchronous, prefetching when async.
+func openSource[T any](f *stream.File[T], pool *pdm.Pool, opts *Options) (source[T], error) {
+	if opts.async() {
+		return stream.NewPrefetchReader(f, pool, opts.width())
+	}
+	return stream.NewStripedReader(f, pool, opts.width())
+}
+
+// openSink opens a writer appending to f according to opts: striped when
+// synchronous, write-behind when async.
+func openSink[T any](f *stream.File[T], pool *pdm.Pool, opts *Options) (sink[T], error) {
+	if opts.async() {
+		return stream.NewAsyncWriter(f, pool, opts.width())
+	}
+	return stream.NewStripedWriter(f, pool, opts.width())
 }
 
 // MergeSort sorts f by less into a new file using multiway external merge
@@ -106,11 +159,11 @@ func FormRuns[T any](f *stream.File[T], pool *pdm.Pool, less func(a, b T) bool, 
 // formRunsLoadSort fills memory, sorts, writes, repeats. Each run holds
 // exactly memRecords records except the last.
 func formRunsLoadSort[T any](f *stream.File[T], pool *pdm.Pool, less func(a, b T) bool, opts *Options) ([]*stream.File[T], error) {
-	w := opts.width()
-	// Reserve frames: reader (w) + writer (w); the rest hold the run buffer.
-	bufFrames := pool.Free() - 2*w
+	sf := opts.streamFrames()
+	// Reserve frames: reader (sf) + writer (sf); the rest hold the run buffer.
+	bufFrames := pool.Free() - 2*sf
 	if bufFrames < 1 {
-		return nil, fmt.Errorf("%w: %d frames free, need > %d", ErrEmptyPool, pool.Free(), 2*w)
+		return nil, fmt.Errorf("%w: %d frames free, need > %d", ErrEmptyPool, pool.Free(), 2*sf)
 	}
 	reserve, err := pool.AllocN(bufFrames)
 	if err != nil {
@@ -119,7 +172,7 @@ func formRunsLoadSort[T any](f *stream.File[T], pool *pdm.Pool, less func(a, b T
 	defer pdm.ReleaseAll(reserve)
 	memRecords := bufFrames * f.PerBlock()
 
-	r, err := stream.NewStripedReader(f, pool, w)
+	r, err := openSource(f, pool, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -133,7 +186,7 @@ func formRunsLoadSort[T any](f *stream.File[T], pool *pdm.Pool, less func(a, b T
 		}
 		sort.SliceStable(buf, func(i, j int) bool { return less(buf[i], buf[j]) })
 		run := stream.NewFile[T](f.Vol(), f.Codec())
-		rw, err := stream.NewStripedWriter(run, pool, w)
+		rw, err := openSink(run, pool, opts)
 		if err != nil {
 			return err
 		}
@@ -181,26 +234,14 @@ type rsItem[T any] struct {
 	v   T
 }
 
-type rsHeap[T any] struct {
-	items []rsItem[T]
-	less  func(a, b T) bool
-}
-
-func (h *rsHeap[T]) Len() int { return len(h.items) }
-func (h *rsHeap[T]) Less(i, j int) bool {
-	a, b := h.items[i], h.items[j]
-	if a.gen != b.gen {
-		return a.gen < b.gen
-	}
-	return h.less(a.v, b.v)
-}
-func (h *rsHeap[T]) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *rsHeap[T]) Push(x interface{}) { h.items = append(h.items, x.(rsItem[T])) }
-func (h *rsHeap[T]) Pop() interface{} {
-	n := len(h.items)
-	it := h.items[n-1]
-	h.items = h.items[:n-1]
-	return it
+// rsHeap orders replacement-selection entries without interface boxing.
+func rsHeap[T any](less func(a, b T) bool) *minHeap[rsItem[T]] {
+	return &minHeap[rsItem[T]]{less: func(a, b rsItem[T]) bool {
+		if a.gen != b.gen {
+			return a.gen < b.gen
+		}
+		return less(a.v, b.v)
+	}}
 }
 
 // formRunsReplacement streams the input through an M-record tournament,
@@ -208,10 +249,10 @@ func (h *rsHeap[T]) Pop() interface{} {
 // random input the expected run length is 2M (the survey's "snowplow"
 // argument); on sorted input it produces a single run.
 func formRunsReplacement[T any](f *stream.File[T], pool *pdm.Pool, less func(a, b T) bool, opts *Options) ([]*stream.File[T], error) {
-	w := opts.width()
-	bufFrames := pool.Free() - 2*w
+	sf := opts.streamFrames()
+	bufFrames := pool.Free() - 2*sf
 	if bufFrames < 1 {
-		return nil, fmt.Errorf("%w: %d frames free, need > %d", ErrEmptyPool, pool.Free(), 2*w)
+		return nil, fmt.Errorf("%w: %d frames free, need > %d", ErrEmptyPool, pool.Free(), 2*sf)
 	}
 	reserve, err := pool.AllocN(bufFrames)
 	if err != nil {
@@ -220,13 +261,13 @@ func formRunsReplacement[T any](f *stream.File[T], pool *pdm.Pool, less func(a, 
 	defer pdm.ReleaseAll(reserve)
 	memRecords := bufFrames * f.PerBlock()
 
-	r, err := stream.NewStripedReader(f, pool, w)
+	r, err := openSource(f, pool, opts)
 	if err != nil {
 		return nil, err
 	}
 	defer r.Close()
 
-	h := &rsHeap[T]{less: less}
+	h := rsHeap[T](less)
 	// Prime the heap with up to M records, all in generation 0.
 	for len(h.items) < memRecords {
 		v, ok, err := r.Next()
@@ -238,16 +279,16 @@ func formRunsReplacement[T any](f *stream.File[T], pool *pdm.Pool, less func(a, 
 		}
 		h.items = append(h.items, rsItem[T]{gen: 0, v: v})
 	}
-	heap.Init(h)
+	h.Init()
 
 	var runs []*stream.File[T]
 	var cur *stream.File[T]
-	var cw *stream.Writer[T]
+	var cw sink[T]
 	curGen := 0
 	openRun := func() error {
 		cur = stream.NewFile[T](f.Vol(), f.Codec())
 		var err error
-		cw, err = stream.NewStripedWriter(cur, pool, w)
+		cw, err = openSink(cur, pool, opts)
 		return err
 	}
 	closeRun := func() error {
@@ -263,7 +304,7 @@ func formRunsReplacement[T any](f *stream.File[T], pool *pdm.Pool, less func(a, 
 	}
 
 	for h.Len() > 0 {
-		it := heap.Pop(h).(rsItem[T])
+		it := h.Pop()
 		if cw == nil || it.gen != curGen {
 			if err := closeRun(); err != nil {
 				return nil, err
@@ -287,7 +328,7 @@ func formRunsReplacement[T any](f *stream.File[T], pool *pdm.Pool, less func(a, 
 			if less(nv, it.v) {
 				gen = curGen + 1
 			}
-			heap.Push(h, rsItem[T]{gen: gen, v: nv})
+			h.Push(rsItem[T]{gen: gen, v: nv})
 		}
 	}
 	if err := closeRun(); err != nil {
@@ -308,15 +349,30 @@ func MaxFanIn(pool *pdm.Pool, width int) int {
 	return (pool.Free() - width) / width
 }
 
+// maxFanIn is MaxFanIn generalised to the per-stream frame cost of the
+// options: asynchronous streams hold double-buffered frame groups, so the
+// fan-in halves again — memory traded for I/O/compute overlap.
+func maxFanIn(pool *pdm.Pool, opts *Options) int {
+	sf := opts.streamFrames()
+	return (pool.Free() - sf) / sf
+}
+
 // MergeRuns repeatedly merges sorted runs fan-in at a time until one remains.
 // The total cost is one read+write of the data per merge level, i.e.
 // ⌈log_fanin(#runs)⌉ passes.
+//
+// With opts.Async set, each input run's reader keeps its next block group in
+// flight while the merge consumes buffered records — the survey's
+// forecasting technique for D-disk merging. A sorted run is consumed in
+// order, so the block the forecast selects (the one holding the smallest
+// pending key of that run) is exactly the run's next sequential block, and
+// read-ahead fetches it before the merge blocks on it; the write-behind
+// output overlaps symmetrically. Counted I/Os are unchanged at equal fan-in.
 func MergeRuns[T any](runs []*stream.File[T], pool *pdm.Pool, less func(a, b T) bool, opts *Options) (*stream.File[T], error) {
 	if len(runs) == 0 {
 		return nil, errors.New("extsort: MergeRuns with no runs")
 	}
-	w := opts.width()
-	fanin := MaxFanIn(pool, w)
+	fanin := maxFanIn(pool, opts)
 	if opts != nil && opts.ForceFanIn > 0 && opts.ForceFanIn < fanin {
 		fanin = opts.ForceFanIn
 	}
@@ -331,7 +387,7 @@ func MergeRuns[T any](runs []*stream.File[T], pool *pdm.Pool, less func(a, b T) 
 			if hi > len(level) {
 				hi = len(level)
 			}
-			merged, err := mergeOnce(level[lo:hi], pool, less, w)
+			merged, err := mergeOnce(level[lo:hi], pool, less, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -351,37 +407,22 @@ type mergeItem[T any] struct {
 	src int
 }
 
-type mergeHeap[T any] struct {
-	items []mergeItem[T]
-	less  func(a, b T) bool
-}
-
-func (h *mergeHeap[T]) Len() int           { return len(h.items) }
-func (h *mergeHeap[T]) Less(i, j int) bool { return h.less(h.items[i].v, h.items[j].v) }
-func (h *mergeHeap[T]) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *mergeHeap[T]) Push(x interface{}) { h.items = append(h.items, x.(mergeItem[T])) }
-func (h *mergeHeap[T]) Pop() interface{} {
-	n := len(h.items)
-	it := h.items[n-1]
-	h.items = h.items[:n-1]
-	return it
-}
-
 // mergeOnce merges the given sorted runs into one sorted file in a single
-// pass: one width-w reader per run plus one width-w writer.
-func mergeOnce[T any](runs []*stream.File[T], pool *pdm.Pool, less func(a, b T) bool, width int) (*stream.File[T], error) {
+// pass: one reader per run plus one writer, each synchronous or
+// asynchronous per opts.
+func mergeOnce[T any](runs []*stream.File[T], pool *pdm.Pool, less func(a, b T) bool, opts *Options) (*stream.File[T], error) {
 	if len(runs) == 1 {
 		// Copy-through keeps ownership semantics uniform (caller releases
 		// inputs), at the cost of one extra pass on odd tails.
-		return copyFile(runs[0], pool, width)
+		return copyFile(runs[0], pool, opts)
 	}
 	vol := runs[0].Vol()
 	out := stream.NewFile[T](vol, runs[0].Codec())
-	ow, err := stream.NewStripedWriter(out, pool, width)
+	ow, err := openSink(out, pool, opts)
 	if err != nil {
 		return nil, err
 	}
-	readers := make([]*stream.Reader[T], len(runs))
+	readers := make([]source[T], len(runs))
 	defer func() {
 		for _, r := range readers {
 			if r != nil {
@@ -389,9 +430,9 @@ func mergeOnce[T any](runs []*stream.File[T], pool *pdm.Pool, less func(a, b T) 
 			}
 		}
 	}()
-	h := &mergeHeap[T]{less: less}
+	h := &minHeap[mergeItem[T]]{less: func(a, b mergeItem[T]) bool { return less(a.v, b.v) }}
 	for i, run := range runs {
-		r, err := stream.NewStripedReader(run, pool, width)
+		r, err := openSource(run, pool, opts)
 		if err != nil {
 			ow.Close()
 			return nil, err
@@ -406,9 +447,9 @@ func mergeOnce[T any](runs []*stream.File[T], pool *pdm.Pool, less func(a, b T) 
 			h.items = append(h.items, mergeItem[T]{v: v, src: i})
 		}
 	}
-	heap.Init(h)
+	h.Init()
 	for h.Len() > 0 {
-		it := h.items[0]
+		it := h.Top()
 		if err := ow.Append(it.v); err != nil {
 			ow.Close()
 			return nil, err
@@ -419,10 +460,9 @@ func mergeOnce[T any](runs []*stream.File[T], pool *pdm.Pool, less func(a, b T) 
 			return nil, err
 		}
 		if ok {
-			h.items[0] = mergeItem[T]{v: v, src: it.src}
-			heap.Fix(h, 0)
+			h.ReplaceTop(mergeItem[T]{v: v, src: it.src})
 		} else {
-			heap.Pop(h)
+			h.Pop()
 		}
 	}
 	if err := ow.Close(); err != nil {
@@ -432,13 +472,13 @@ func mergeOnce[T any](runs []*stream.File[T], pool *pdm.Pool, less func(a, b T) 
 }
 
 // copyFile copies src into a fresh file.
-func copyFile[T any](src *stream.File[T], pool *pdm.Pool, width int) (*stream.File[T], error) {
+func copyFile[T any](src *stream.File[T], pool *pdm.Pool, opts *Options) (*stream.File[T], error) {
 	dst := stream.NewFile[T](src.Vol(), src.Codec())
-	w, err := stream.NewStripedWriter(dst, pool, width)
+	w, err := openSink(dst, pool, opts)
 	if err != nil {
 		return nil, err
 	}
-	r, err := stream.NewStripedReader(src, pool, width)
+	r, err := openSource(src, pool, opts)
 	if err != nil {
 		w.Close()
 		return nil, err

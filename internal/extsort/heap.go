@@ -1,0 +1,80 @@
+package extsort
+
+// minHeap is a typed binary min-heap used on the merge and run-formation hot
+// paths. It replaces container/heap, whose Push/Pop signatures box every
+// element in an interface{} — one allocation per record at merge time. The
+// sift algorithms mirror container/heap's exactly (same comparison and swap
+// order), so element order among equal keys is unchanged.
+type minHeap[T any] struct {
+	items []T
+	less  func(a, b T) bool
+}
+
+// Len returns the number of buffered items.
+func (h *minHeap[T]) Len() int { return len(h.items) }
+
+// Init establishes the heap invariant over h.items.
+func (h *minHeap[T]) Init() {
+	n := len(h.items)
+	for i := n/2 - 1; i >= 0; i-- {
+		h.down(i, n)
+	}
+}
+
+// Push inserts x.
+func (h *minHeap[T]) Push(x T) {
+	h.items = append(h.items, x)
+	h.up(len(h.items) - 1)
+}
+
+// Pop removes and returns the minimum item.
+func (h *minHeap[T]) Pop() T {
+	n := len(h.items) - 1
+	h.items[0], h.items[n] = h.items[n], h.items[0]
+	h.down(0, n)
+	it := h.items[n]
+	var zero T
+	h.items[n] = zero // release references held by popped slots
+	h.items = h.items[:n]
+	return it
+}
+
+// Top returns the minimum item without removing it.
+func (h *minHeap[T]) Top() T { return h.items[0] }
+
+// ReplaceTop substitutes the minimum item with x and restores the invariant
+// — the k-way-merge fast path (equivalent to heap.Fix(h, 0)).
+func (h *minHeap[T]) ReplaceTop(x T) {
+	h.items[0] = x
+	h.down(0, len(h.items))
+}
+
+func (h *minHeap[T]) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !h.less(h.items[j], h.items[i]) {
+			break
+		}
+		h.items[i], h.items[j] = h.items[j], h.items[i]
+		j = i
+	}
+}
+
+func (h *minHeap[T]) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h.less(h.items[j2], h.items[j1]) {
+			j = j2
+		}
+		if !h.less(h.items[j], h.items[i]) {
+			break
+		}
+		h.items[i], h.items[j] = h.items[j], h.items[i]
+		i = j
+	}
+}

@@ -16,14 +16,56 @@
 // quantities the external-memory literature reasons about, free of page-cache
 // and garbage-collector noise.
 //
+// # Concurrency model
+//
+// A Volume is safe for concurrent use. Each simulated disk has its own lock,
+// so transfers addressed to distinct disks proceed in parallel, while
+// transfers to the same disk serialise — exactly the contention the PDM
+// charges for. When Config.DiskLatency is non-zero the volume additionally
+// runs one worker goroutine per disk, each draining a per-disk request
+// queue; BatchRead and BatchWrite split a batch by disk, dispatch the pieces
+// to all D workers, and join, so a batch's wall-clock time is governed by
+// the worst single disk (the model's parallel-step cost) rather than by the
+// batch size. Each block transfer reserves DiskLatency on its disk's
+// timeline at dispatch — the disk is a serial resource whose queue of
+// reserved service times runs forward from the moment work is submitted —
+// and the join returns when the reservation has elapsed, which makes D-way
+// speedups directly measurable with a stopwatch and keeps overlap honest
+// even on a single-CPU host. BatchReadAsync and BatchWriteAsync expose the
+// dispatch/join split directly; package stream builds forecasting
+// read-ahead and write-behind on them. Volumes with a non-zero DiskLatency
+// own goroutines and should be Closed when no longer needed; Close is
+// idempotent and a nil latency volume never starts workers, so existing
+// synchronous callers need not change. With DiskLatency zero, batches are
+// serviced inline on the calling goroutine and every I/O count is
+// bit-for-bit what the serial implementation charged.
+//
+// # Stats semantics
+//
+// Counters are updated with sharded atomics: Reads, Writes and Steps are
+// single atomic words, and the per-disk breakdowns are one shard per disk so
+// workers never contend on a shared counter. Volume.Stats returns a live
+// view — sequential callers may read its exported fields directly, as every
+// Volume method completes its counter updates before returning. Callers that
+// overlap I/O from several goroutines must use Stats.Snapshot (or establish
+// their own happens-before edge, e.g. WaitGroup.Wait) rather than reading
+// fields mid-flight. Reset and Snapshot are always safe to call concurrently
+// with I/O.
+//
 // Memory is modelled by Pool, which hands out at most M/B block-sized frames
 // and refuses further allocation, so an algorithm that exceeds its stated
-// memory bound fails its tests rather than silently borrowing RAM.
+// memory bound fails its tests rather than silently borrowing RAM. Pool is
+// likewise safe for concurrent use, which lets asynchronous readers and
+// writers (see package stream) charge their prefetch buffers to the same
+// budget M as everything else.
 package pdm
 
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Common errors returned by Volume operations.
@@ -35,6 +77,8 @@ var (
 	// ErrNoFrames reports that the buffer pool is exhausted, i.e. the
 	// algorithm attempted to exceed its internal-memory budget M.
 	ErrNoFrames = errors.New("pdm: buffer pool exhausted (memory budget M exceeded)")
+	// ErrClosed reports I/O on a volume whose workers have been shut down.
+	ErrClosed = errors.New("pdm: volume closed")
 )
 
 // Config fixes the device-shape parameters of a parallel disk model instance.
@@ -48,6 +92,13 @@ type Config struct {
 	MemBlocks int
 	// Disks is D, the number of independent disks blocks are striped over.
 	Disks int
+	// DiskLatency is the simulated service time per block transfer. Zero
+	// (the default) services every transfer inline with no delay, preserving
+	// the purely-counted model. A non-zero latency starts one worker
+	// goroutine per disk and makes batch wall-clock time proportional to the
+	// parallel-step cost, so striping speedups show up on a stopwatch; such
+	// volumes should be Closed when done.
+	DiskLatency time.Duration
 }
 
 // Validate reports whether the configuration is usable.
@@ -61,10 +112,19 @@ func (c Config) Validate() error {
 	if c.Disks < 1 {
 		return fmt.Errorf("pdm: Disks must be at least 1, got %d", c.Disks)
 	}
+	if c.DiskLatency < 0 {
+		return fmt.Errorf("pdm: DiskLatency must be non-negative, got %v", c.DiskLatency)
+	}
 	return nil
 }
 
 // Stats accumulates I/O counts for a Volume. Counts are in block transfers.
+//
+// The counters are maintained with atomic operations, sharded per disk, so
+// concurrent transfers never contend on one cache line. Reading the exported
+// fields directly is fine for sequential code (every Volume call completes
+// its updates before returning); code that overlaps I/O across goroutines
+// should use Snapshot, which loads atomically.
 type Stats struct {
 	// Reads and Writes count individual block transfers.
 	Reads  uint64
@@ -73,58 +133,120 @@ type Stats struct {
 	// over the disks costs max-blocks-per-single-disk steps; an unbatched
 	// transfer costs one step.
 	Steps uint64
-	// PerDiskReads and PerDiskWrites break transfers down by disk.
+	// PerDiskReads and PerDiskWrites break transfers down by disk. Each
+	// entry is its own atomic shard.
 	PerDiskReads  []uint64
 	PerDiskWrites []uint64
 }
 
 // Total returns reads plus writes.
-func (s *Stats) Total() uint64 { return s.Reads + s.Writes }
+func (s *Stats) Total() uint64 {
+	return atomic.LoadUint64(&s.Reads) + atomic.LoadUint64(&s.Writes)
+}
 
 // Reset zeroes all counters in place, preserving the per-disk slices.
 func (s *Stats) Reset() {
-	s.Reads, s.Writes, s.Steps = 0, 0, 0
+	atomic.StoreUint64(&s.Reads, 0)
+	atomic.StoreUint64(&s.Writes, 0)
+	atomic.StoreUint64(&s.Steps, 0)
 	for i := range s.PerDiskReads {
-		s.PerDiskReads[i] = 0
+		atomic.StoreUint64(&s.PerDiskReads[i], 0)
 	}
 	for i := range s.PerDiskWrites {
-		s.PerDiskWrites[i] = 0
+		atomic.StoreUint64(&s.PerDiskWrites[i], 0)
 	}
 }
 
-// Snapshot returns a copy of the current counters.
+// Snapshot returns an atomically-loaded copy of the current counters. It is
+// the safe way to observe Stats while I/O may be in flight on other
+// goroutines.
 func (s *Stats) Snapshot() Stats {
-	cp := *s
-	cp.PerDiskReads = append([]uint64(nil), s.PerDiskReads...)
-	cp.PerDiskWrites = append([]uint64(nil), s.PerDiskWrites...)
+	cp := Stats{
+		Reads:         atomic.LoadUint64(&s.Reads),
+		Writes:        atomic.LoadUint64(&s.Writes),
+		Steps:         atomic.LoadUint64(&s.Steps),
+		PerDiskReads:  make([]uint64, len(s.PerDiskReads)),
+		PerDiskWrites: make([]uint64, len(s.PerDiskWrites)),
+	}
+	for i := range s.PerDiskReads {
+		cp.PerDiskReads[i] = atomic.LoadUint64(&s.PerDiskReads[i])
+	}
+	for i := range s.PerDiskWrites {
+		cp.PerDiskWrites[i] = atomic.LoadUint64(&s.PerDiskWrites[i])
+	}
 	return cp
 }
 
 // String renders the counters compactly for logs and experiment tables.
 func (s *Stats) String() string {
-	return fmt.Sprintf("reads=%d writes=%d total=%d steps=%d", s.Reads, s.Writes, s.Total(), s.Steps)
+	cp := s.Snapshot()
+	return fmt.Sprintf("reads=%d writes=%d total=%d steps=%d", cp.Reads, cp.Writes, cp.Reads+cp.Writes, cp.Steps)
 }
 
-// disk is one simulated disk: a growable array of blocks.
+// addRead charges one read on disk d.
+func (s *Stats) addRead(d int) {
+	atomic.AddUint64(&s.Reads, 1)
+	atomic.AddUint64(&s.PerDiskReads[d], 1)
+}
+
+// addWrite charges one write on disk d.
+func (s *Stats) addWrite(d int) {
+	atomic.AddUint64(&s.Writes, 1)
+	atomic.AddUint64(&s.PerDiskWrites[d], 1)
+}
+
+// addSteps charges n parallel steps.
+func (s *Stats) addSteps(n uint64) { atomic.AddUint64(&s.Steps, n) }
+
+// disk is one simulated disk: a growable array of blocks, the lock that
+// serialises access to them, and the service-time reservation horizon.
+// Service time is modelled as a per-disk timeline: every transfer reserves
+// DiskLatency on its disk at dispatch time, so a disk's k-th queued block
+// completes k·DiskLatency after the disk went busy regardless of when the
+// worker goroutine is actually scheduled — which keeps overlap measurements
+// honest even on a single-CPU host.
 type disk struct {
-	blocks [][]byte
+	mu        sync.Mutex
+	blocks    [][]byte
+	busyUntil time.Time // reservation horizon; meaningful only with latency
+}
+
+// diskJob is one per-disk slice of a batch: the blocks a single disk must
+// service, the deadline its reservation runs to, and the join point the
+// dispatcher waits on.
+type diskJob struct {
+	write    bool
+	slots    []int64
+	bufs     [][]byte
+	deadline time.Time
+	wg       *sync.WaitGroup
 }
 
 // Volume is a linear block address space striped round-robin over D disks.
 // Block address a lives on disk a mod D at position a div D. Volumes grow on
 // demand through Alloc and never shrink; Free records reusable addresses.
 //
-// Volume is not safe for concurrent use; the external-memory algorithms in
-// this module are sequential by design, as in the survey.
+// Volume is safe for concurrent use; see the package comment for the
+// concurrency model and the wall-clock semantics of Config.DiskLatency.
 type Volume struct {
-	cfg      Config
-	disks    []disk
-	next     int64 // next unallocated block address
+	cfg   Config
+	disks []disk
+	stats Stats
+
+	mu       sync.Mutex // guards next and freeList
+	next     int64      // next unallocated block address
 	freeList []int64
-	stats    Stats
+
+	queues    []chan diskJob // per-disk request queues; nil when DiskLatency == 0
+	workerWG  sync.WaitGroup
+	closeOnce sync.Once
+	closeMu   sync.RWMutex // dispatchers hold R, Close holds W
+	closed    bool         // guarded by closeMu
 }
 
-// NewVolume creates an empty volume with the given configuration.
+// NewVolume creates an empty volume with the given configuration. When
+// cfg.DiskLatency is non-zero the volume starts one worker goroutine per
+// disk; call Close to stop them.
 func NewVolume(cfg Config) (*Volume, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -132,6 +254,14 @@ func NewVolume(cfg Config) (*Volume, error) {
 	v := &Volume{cfg: cfg, disks: make([]disk, cfg.Disks)}
 	v.stats.PerDiskReads = make([]uint64, cfg.Disks)
 	v.stats.PerDiskWrites = make([]uint64, cfg.Disks)
+	if cfg.DiskLatency > 0 {
+		v.queues = make([]chan diskJob, cfg.Disks)
+		for i := range v.queues {
+			v.queues[i] = make(chan diskJob, 16)
+			v.workerWG.Add(1)
+			go v.diskWorker(i)
+		}
+	}
 	return v, nil
 }
 
@@ -144,6 +274,80 @@ func MustVolume(cfg Config) *Volume {
 	return v
 }
 
+// Close stops the per-disk workers, if any. It is idempotent and safe to
+// call on volumes that never started workers. I/O after Close returns
+// ErrClosed on the batched paths.
+func (v *Volume) Close() {
+	v.closeOnce.Do(func() {
+		v.closeMu.Lock()
+		v.closed = true
+		for _, q := range v.queues {
+			close(q)
+		}
+		v.closeMu.Unlock()
+		v.workerWG.Wait()
+	})
+}
+
+// diskWorker drains disk i's request queue: it performs the data copies
+// immediately, then holds the job until its reserved deadline passes, so a
+// batch's join completes exactly when the model says the worst disk is done.
+func (v *Volume) diskWorker(i int) {
+	defer v.workerWG.Done()
+	d := &v.disks[i]
+	for job := range v.queues[i] {
+		for k, slot := range job.slots {
+			v.service(d, slot, job.bufs[k], job.write)
+		}
+		sleepUntil(job.deadline)
+		job.wg.Done()
+	}
+}
+
+// reserve books n block-services on disk d's timeline and returns the time
+// the last of them completes. Reservations are made at dispatch, on the
+// caller's goroutine, so queued service time accrues even before a worker
+// picks the job up.
+func (v *Volume) reserve(d *disk, n int) time.Time {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if now := time.Now(); d.busyUntil.Before(now) {
+		d.busyUntil = now
+	}
+	d.busyUntil = d.busyUntil.Add(time.Duration(n) * v.cfg.DiskLatency)
+	return d.busyUntil
+}
+
+// sleepUntil blocks until the deadline, if it is still in the future.
+func sleepUntil(deadline time.Time) {
+	if dt := time.Until(deadline); dt > 0 {
+		time.Sleep(dt)
+	}
+}
+
+// service performs one block transfer on disk d at the given slot.
+func (v *Volume) service(d *disk, slot int64, buf []byte, write bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if write {
+		for int64(len(d.blocks)) <= slot {
+			d.blocks = append(d.blocks, nil)
+		}
+		if d.blocks[slot] == nil {
+			d.blocks[slot] = make([]byte, v.cfg.BlockBytes)
+		}
+		copy(d.blocks[slot], buf)
+		return
+	}
+	if slot < int64(len(d.blocks)) && d.blocks[slot] != nil {
+		copy(buf, d.blocks[slot])
+	} else {
+		// Reading a block that was allocated but never written yields a zero
+		// block, mirroring a freshly formatted disk region.
+		clear(buf)
+	}
+}
+
 // Config returns the volume's configuration.
 func (v *Volume) Config() Config { return v.cfg }
 
@@ -153,12 +357,17 @@ func (v *Volume) BlockBytes() int { return v.cfg.BlockBytes }
 // Disks returns D, the number of disks.
 func (v *Volume) Disks() int { return v.cfg.Disks }
 
-// Stats returns the live counter set. Callers may Reset or Snapshot it.
+// Stats returns the live counter set. Callers may Reset or Snapshot it; see
+// the package comment for which reads are safe under concurrency.
 func (v *Volume) Stats() *Stats { return &v.stats }
 
 // Allocated returns the number of blocks ever allocated (the high-water
 // address), including freed blocks.
-func (v *Volume) Allocated() int64 { return v.next }
+func (v *Volume) Allocated() int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.next
+}
 
 // Alloc reserves n fresh blocks and returns the address of the first.
 // Addresses of a single Alloc are contiguous, so they stripe evenly over the
@@ -167,6 +376,8 @@ func (v *Volume) Alloc(n int) int64 {
 	if n <= 0 {
 		panic("pdm: Alloc of non-positive block count")
 	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	if n == 1 && len(v.freeList) > 0 {
 		addr := v.freeList[len(v.freeList)-1]
 		v.freeList = v.freeList[:len(v.freeList)-1]
@@ -181,28 +392,20 @@ func (v *Volume) Alloc(n int) int64 {
 // overwritten; reading a freed block is permitted (it models a disk, not an
 // allocator with poisoning).
 func (v *Volume) Free(addr int64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	v.freeList = append(v.freeList, addr)
 }
 
-// locate resolves a block address to its disk and slot, growing the disk's
-// backing store as needed when writing.
-func (v *Volume) locate(addr int64, grow bool) (*disk, int64, error) {
-	if addr < 0 || addr >= v.next {
-		return nil, 0, fmt.Errorf("%w: %d (allocated %d)", ErrBadAddress, addr, v.next)
+// checkAddr validates a block address against the allocation high-water mark.
+func (v *Volume) checkAddr(addr int64) error {
+	v.mu.Lock()
+	next := v.next
+	v.mu.Unlock()
+	if addr < 0 || addr >= next {
+		return fmt.Errorf("%w: %d (allocated %d)", ErrBadAddress, addr, next)
 	}
-	d := &v.disks[int(addr)%v.cfg.Disks]
-	slot := addr / int64(v.cfg.Disks)
-	if int64(len(d.blocks)) <= slot {
-		if !grow {
-			// Reading a block that was allocated but never written yields a
-			// zero block, mirroring a freshly formatted disk region.
-			return d, slot, nil
-		}
-		for int64(len(d.blocks)) <= slot {
-			d.blocks = append(d.blocks, nil)
-		}
-	}
-	return d, slot, nil
+	return nil
 }
 
 // ReadBlock copies block addr into dst, which must be exactly one block long.
@@ -211,18 +414,19 @@ func (v *Volume) ReadBlock(addr int64, dst []byte) error {
 	if len(dst) != v.cfg.BlockBytes {
 		return fmt.Errorf("%w: got %d want %d", ErrBadBuffer, len(dst), v.cfg.BlockBytes)
 	}
-	d, slot, err := v.locate(addr, false)
-	if err != nil {
+	if err := v.checkAddr(addr); err != nil {
 		return err
 	}
-	v.stats.Reads++
-	v.stats.Steps++
-	v.stats.PerDiskReads[int(addr)%v.cfg.Disks]++
-	if slot < int64(len(d.blocks)) && d.blocks[slot] != nil {
-		copy(dst, d.blocks[slot])
-	} else {
-		clear(dst)
+	di := int(addr) % v.cfg.Disks
+	v.stats.addRead(di)
+	v.stats.addSteps(1)
+	d := &v.disks[di]
+	var deadline time.Time
+	if v.cfg.DiskLatency > 0 {
+		deadline = v.reserve(d, 1)
 	}
+	v.service(d, addr/int64(v.cfg.Disks), dst, false)
+	sleepUntil(deadline)
 	return nil
 }
 
@@ -232,17 +436,19 @@ func (v *Volume) WriteBlock(addr int64, src []byte) error {
 	if len(src) != v.cfg.BlockBytes {
 		return fmt.Errorf("%w: got %d want %d", ErrBadBuffer, len(src), v.cfg.BlockBytes)
 	}
-	d, slot, err := v.locate(addr, true)
-	if err != nil {
+	if err := v.checkAddr(addr); err != nil {
 		return err
 	}
-	v.stats.Writes++
-	v.stats.Steps++
-	v.stats.PerDiskWrites[int(addr)%v.cfg.Disks]++
-	if d.blocks[slot] == nil {
-		d.blocks[slot] = make([]byte, v.cfg.BlockBytes)
+	di := int(addr) % v.cfg.Disks
+	v.stats.addWrite(di)
+	v.stats.addSteps(1)
+	d := &v.disks[di]
+	var deadline time.Time
+	if v.cfg.DiskLatency > 0 {
+		deadline = v.reserve(d, 1)
 	}
-	copy(d.blocks[slot], src)
+	v.service(d, addr/int64(v.cfg.Disks), src, true)
+	sleepUntil(deadline)
 	return nil
 }
 
@@ -264,60 +470,125 @@ func (v *Volume) stepCost(addrs []int64) uint64 {
 	return uint64(maxC)
 }
 
-// BatchRead reads len(addrs) blocks as one parallel batch. dsts[i] receives
-// block addrs[i]. The batch costs len(addrs) block reads but only as many
-// parallel steps as the worst single disk must serve.
-func (v *Volume) BatchRead(addrs []int64, dsts [][]byte) error {
-	if len(addrs) != len(dsts) {
-		return fmt.Errorf("pdm: BatchRead length mismatch: %d addrs, %d buffers", len(addrs), len(dsts))
+// serviceInline performs the given transfers sequentially on the calling
+// goroutine, in batch order.
+func (v *Volume) serviceInline(addrs []int64, bufs [][]byte, write bool) {
+	for i, a := range addrs {
+		v.service(&v.disks[int(a)%v.cfg.Disks], a/int64(v.cfg.Disks), bufs[i], write)
+	}
+}
+
+// errJoin is the no-op join returned when a batch failed (or completed)
+// during dispatch.
+func errJoin(err error) func() error { return func() error { return err } }
+
+// batch validates and dispatches one batched transfer in either direction,
+// returning a join function that blocks until the transfer is complete.
+// Validation happens block by block in batch order, and on error the already
+// validated prefix is transferred and charged (with no step cost), exactly
+// as the serial implementation behaved. Once the whole batch is validated it
+// is split by disk, each disk's share reserves its service time on that
+// disk's timeline, and the shares are dispatched to the per-disk workers
+// (DiskLatency > 0) or serviced inline (zero latency, where the join is a
+// no-op and the transfer is already done).
+func (v *Volume) batch(addrs []int64, bufs [][]byte, write bool) func() error {
+	verb := "BatchRead"
+	if write {
+		verb = "BatchWrite"
+	}
+	if len(addrs) != len(bufs) {
+		return errJoin(fmt.Errorf("pdm: %s length mismatch: %d addrs, %d buffers", verb, len(addrs), len(bufs)))
 	}
 	if len(addrs) == 0 {
-		return nil
+		return errJoin(nil)
+	}
+	if v.queues != nil {
+		// Refuse closed volumes before any counter is charged or block
+		// moved, so an ErrClosed batch has no side effects at all. The read
+		// lock is held through dispatch so Close cannot shut the queues
+		// down between this check and the sends.
+		v.closeMu.RLock()
+		if v.closed {
+			v.closeMu.RUnlock()
+			return errJoin(ErrClosed)
+		}
+		defer v.closeMu.RUnlock()
 	}
 	for i, a := range addrs {
-		if len(dsts[i]) != v.cfg.BlockBytes {
-			return fmt.Errorf("%w: buffer %d has %d bytes", ErrBadBuffer, i, len(dsts[i]))
+		if len(bufs[i]) != v.cfg.BlockBytes {
+			v.serviceInline(addrs[:i], bufs[:i], write)
+			return errJoin(fmt.Errorf("%w: buffer %d has %d bytes", ErrBadBuffer, i, len(bufs[i])))
 		}
-		d, slot, err := v.locate(a, false)
-		if err != nil {
-			return err
+		if err := v.checkAddr(a); err != nil {
+			v.serviceInline(addrs[:i], bufs[:i], write)
+			return errJoin(err)
 		}
-		v.stats.Reads++
-		v.stats.PerDiskReads[int(a)%v.cfg.Disks]++
-		if slot < int64(len(d.blocks)) && d.blocks[slot] != nil {
-			copy(dsts[i], d.blocks[slot])
+		if write {
+			v.stats.addWrite(int(a) % v.cfg.Disks)
 		} else {
-			clear(dsts[i])
+			v.stats.addRead(int(a) % v.cfg.Disks)
 		}
 	}
-	v.stats.Steps += v.stepCost(addrs)
-	return nil
+	v.stats.addSteps(v.stepCost(addrs))
+
+	if v.queues == nil {
+		v.serviceInline(addrs, bufs, write)
+		return errJoin(nil)
+	}
+	// Split the batch by disk and dispatch one job per involved disk, each
+	// with its service time reserved now; the join completes when the worst
+	// disk's reservation has run out — the parallel-step cost on a clock.
+	jobs := make([]diskJob, v.cfg.Disks)
+	wg := new(sync.WaitGroup)
+	for i, a := range addrs {
+		di := int(a) % v.cfg.Disks
+		jobs[di].slots = append(jobs[di].slots, a/int64(v.cfg.Disks))
+		jobs[di].bufs = append(jobs[di].bufs, bufs[i])
+	}
+	for di := range jobs {
+		if len(jobs[di].slots) == 0 {
+			continue
+		}
+		jobs[di].write = write
+		jobs[di].deadline = v.reserve(&v.disks[di], len(jobs[di].slots))
+		jobs[di].wg = wg
+		wg.Add(1)
+		v.queues[di] <- jobs[di]
+	}
+	return func() error {
+		wg.Wait()
+		return nil
+	}
+}
+
+// BatchRead reads len(addrs) blocks as one parallel batch. dsts[i] receives
+// block addrs[i]. The batch costs len(addrs) block reads but only as many
+// parallel steps as the worst single disk must serve, and — with a non-zero
+// DiskLatency — only that much wall-clock time, because the per-disk workers
+// service their shares concurrently.
+func (v *Volume) BatchRead(addrs []int64, dsts [][]byte) error {
+	return v.batch(addrs, dsts, false)()
 }
 
 // BatchWrite writes len(addrs) blocks as one parallel batch, the write-side
 // dual of BatchRead.
 func (v *Volume) BatchWrite(addrs []int64, srcs [][]byte) error {
-	if len(addrs) != len(srcs) {
-		return fmt.Errorf("pdm: BatchWrite length mismatch: %d addrs, %d buffers", len(addrs), len(srcs))
-	}
-	if len(addrs) == 0 {
-		return nil
-	}
-	for i, a := range addrs {
-		if len(srcs[i]) != v.cfg.BlockBytes {
-			return fmt.Errorf("%w: buffer %d has %d bytes", ErrBadBuffer, i, len(srcs[i]))
-		}
-		d, slot, err := v.locate(a, true)
-		if err != nil {
-			return err
-		}
-		v.stats.Writes++
-		v.stats.PerDiskWrites[int(a)%v.cfg.Disks]++
-		if d.blocks[slot] == nil {
-			d.blocks[slot] = make([]byte, v.cfg.BlockBytes)
-		}
-		copy(d.blocks[slot], srcs[i])
-	}
-	v.stats.Steps += v.stepCost(addrs)
-	return nil
+	return v.batch(addrs, srcs, true)()
+}
+
+// BatchReadAsync dispatches a batched read and returns immediately with a
+// join function; the read is complete (and dsts are valid) only after join
+// returns. Counters are charged at dispatch. Service time is reserved on
+// the per-disk timelines at dispatch too, so the caller can overlap
+// computation with the simulated transfer — this is the primitive the
+// stream prefetcher builds forecasting read-ahead on.
+func (v *Volume) BatchReadAsync(addrs []int64, dsts [][]byte) (join func() error) {
+	return v.batch(addrs, dsts, false)
+}
+
+// BatchWriteAsync dispatches a batched write and returns immediately with a
+// join function; srcs must not be modified until join returns. It is the
+// write-behind dual of BatchReadAsync.
+func (v *Volume) BatchWriteAsync(addrs []int64, srcs [][]byte) (join func() error) {
+	return v.batch(addrs, srcs, true)
 }

@@ -1,20 +1,29 @@
 package pdm
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Pool enforces the internal-memory budget of the model: it hands out at most
 // MemBlocks block-sized frames. Every algorithm in this module draws its
 // working buffers from a Pool, so an implementation that needs more than M/B
 // frames cannot pass its tests by silently using extra RAM.
 //
+// Pool is safe for concurrent use: asynchronous prefetchers and write-behind
+// writers allocate and release frames from background goroutines, and their
+// buffers are charged to the same budget M as everything else.
+//
 // Frames are recycled through a free list, so steady-state allocation does
 // not touch the garbage collector.
 type Pool struct {
 	blockBytes int
 	capacity   int
-	inUse      int
-	peak       int
-	free       []*Frame
+
+	mu    sync.Mutex
+	inUse int
+	peak  int
+	free  []*Frame
 }
 
 // Frame is one block-sized memory buffer on loan from a Pool.
@@ -39,20 +48,34 @@ func PoolFor(v *Volume) *Pool {
 func (p *Pool) Capacity() int { return p.capacity }
 
 // InUse returns the number of frames currently on loan.
-func (p *Pool) InUse() int { return p.inUse }
+func (p *Pool) InUse() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.inUse
+}
 
 // Free returns the number of frames still available.
-func (p *Pool) Free() int { return p.capacity - p.inUse }
+func (p *Pool) Free() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.capacity - p.inUse
+}
 
 // Peak returns the high-water mark of simultaneous frames on loan, useful
 // for asserting that an algorithm stayed within a sub-budget.
-func (p *Pool) Peak() int { return p.peak }
+func (p *Pool) Peak() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.peak
+}
 
 // Alloc borrows one frame. It returns ErrNoFrames when the budget is
 // exhausted, which signals a violation of the algorithm's stated memory
 // bound.
 func (p *Pool) Alloc() (*Frame, error) {
+	p.mu.Lock()
 	if p.inUse >= p.capacity {
+		p.mu.Unlock()
 		return nil, fmt.Errorf("%w: capacity %d", ErrNoFrames, p.capacity)
 	}
 	p.inUse++
@@ -63,8 +86,10 @@ func (p *Pool) Alloc() (*Frame, error) {
 		f := p.free[n-1]
 		p.free = p.free[:n-1]
 		f.pool = p
+		p.mu.Unlock()
 		return f, nil
 	}
+	p.mu.Unlock()
 	return &Frame{Buf: make([]byte, p.blockBytes), pool: p}, nil
 }
 
@@ -102,8 +127,10 @@ func (f *Frame) Release() {
 	}
 	p := f.pool
 	f.pool = nil
+	p.mu.Lock()
 	p.inUse--
 	p.free = append(p.free, f)
+	p.mu.Unlock()
 }
 
 // ReleaseAll releases every frame in frames.

@@ -64,6 +64,42 @@ func (f *File[T]) Release() {
 	f.n = 0
 }
 
+// reloadTail prepares a writer for appending to a file whose last block is
+// partially filled: it reads that block into buf, removes it from the block
+// list, frees its address, and returns the number of records it held, so
+// the writer can keep packing it and records stay contiguous for readers.
+// A block-aligned file returns 0 and touches nothing.
+func (f *File[T]) reloadTail(buf []byte) (int, error) {
+	tail := int(f.n % int64(f.PerBlock()))
+	if tail == 0 {
+		return 0, nil
+	}
+	last := f.blocks[len(f.blocks)-1]
+	if err := f.vol.ReadBlock(last, buf); err != nil {
+		return 0, err
+	}
+	f.blocks = f.blocks[:len(f.blocks)-1]
+	f.vol.Free(last)
+	return tail, nil
+}
+
+// allocExtent reserves n fresh contiguous blocks, records them in the
+// file's block list in order, and returns their addresses paired with the
+// first n frames' buffers — the shared layout step of every writer flush,
+// synchronous or write-behind, which keeps their on-volume layouts
+// byte-identical.
+func (f *File[T]) allocExtent(n int, frames []*pdm.Frame) (addrs []int64, bufs [][]byte) {
+	base := f.vol.Alloc(n)
+	addrs = make([]int64, n)
+	bufs = make([][]byte, n)
+	for i := 0; i < n; i++ {
+		addrs[i] = base + int64(i)
+		bufs[i] = frames[i].Buf
+		f.blocks = append(f.blocks, addrs[i])
+	}
+	return addrs, bufs
+}
+
 // Writer appends records to a File block by block. A width-w writer buffers
 // w blocks and flushes them as one parallel batch.
 type Writer[T any] struct {
@@ -92,19 +128,12 @@ func NewStripedWriter[T any](f *File[T], pool *pdm.Pool, width int) (*Writer[T],
 		return nil, err
 	}
 	w := &Writer[T]{f: f, pool: pool, frames: frames, width: width}
-	// Appending to a file whose last block is partially filled: reload that
-	// block into the first frame and continue packing it, so records stay
-	// contiguous for readers.
-	if tail := int(f.n % int64(f.PerBlock())); tail != 0 {
-		last := f.blocks[len(f.blocks)-1]
-		if err := f.vol.ReadBlock(last, frames[0].Buf); err != nil {
-			pdm.ReleaseAll(frames)
-			return nil, err
-		}
-		f.blocks = f.blocks[:len(f.blocks)-1]
-		f.vol.Free(last)
-		w.filled = tail
+	tail, err := f.reloadTail(frames[0].Buf)
+	if err != nil {
+		pdm.ReleaseAll(frames)
+		return nil, err
 	}
+	w.filled = tail
 	return w, nil
 }
 
@@ -133,14 +162,7 @@ func (w *Writer[T]) flush(nFrames int) error {
 	if nFrames == 0 {
 		return nil
 	}
-	base := w.f.vol.Alloc(nFrames)
-	addrs := make([]int64, nFrames)
-	bufs := make([][]byte, nFrames)
-	for i := 0; i < nFrames; i++ {
-		addrs[i] = base + int64(i)
-		bufs[i] = w.frames[i].Buf
-		w.f.blocks = append(w.f.blocks, addrs[i])
-	}
+	addrs, bufs := w.f.allocExtent(nFrames, w.frames)
 	if err := w.f.vol.BatchWrite(addrs, bufs); err != nil {
 		return err
 	}
