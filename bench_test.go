@@ -11,7 +11,6 @@ package em
 
 import (
 	"fmt"
-	"math/rand"
 	"testing"
 	"time"
 
@@ -385,8 +384,7 @@ func BenchmarkAsyncMergeSort(b *testing.B) {
 				b.StopTimer()
 				vol := MustVolume(Config{BlockBytes: 512, MemBlocks: 64, Disks: 4, DiskLatency: 50 * time.Microsecond})
 				pool := PoolFor(vol)
-				rng := rand.New(rand.NewSource(42))
-				f, err := FromSlice(vol, pool, RecordCodec{}, benchRecords(rng, n))
+				f, err := FromSlice(vol, pool, RecordCodec{}, experiments.RandomRecords(42, n))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -412,15 +410,6 @@ func BenchmarkAsyncMergeSort(b *testing.B) {
 	}
 }
 
-// benchRecords generates n pseudo-random records for the engine benchmarks.
-func benchRecords(rng *rand.Rand, n int) []Record {
-	rs := make([]Record, n)
-	for i := range rs {
-		rs[i] = Record{Key: rng.Uint64(), Val: uint64(i)}
-	}
-	return rs
-}
-
 // BenchmarkAsyncScan measures forecasting read-ahead where it pays: a scan
 // whose consumer does real per-record work. The synchronous scan serialises
 // fetch and compute; the prefetching scan overlaps them, approaching
@@ -439,8 +428,7 @@ func BenchmarkAsyncScan(b *testing.B) {
 			vol := MustVolume(Config{BlockBytes: 512, MemBlocks: 16, Disks: 4, DiskLatency: 2 * time.Millisecond})
 			defer vol.Close()
 			pool := PoolFor(vol)
-			rng := rand.New(rand.NewSource(7))
-			f, err := FromSlice(vol, pool, RecordCodec{}, benchRecords(rng, n))
+			f, err := FromSlice(vol, pool, RecordCodec{}, experiments.RandomRecords(7, n))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -464,6 +452,88 @@ func BenchmarkAsyncScan(b *testing.B) {
 			s := vol.Stats().Snapshot()
 			b.ReportMetric(float64(s.Reads)/float64(b.N), "blockreads/op")
 			b.ReportMetric(float64(s.Steps)/float64(b.N), "iosteps/op")
+		})
+	}
+}
+
+// BenchmarkAsyncDistributionSort is BenchmarkAsyncMergeSort's twin for the
+// distribution path: synchronous vs forecast-driven bucket partitioning on a
+// latency volume, counted I/Os reported alongside wall-clock. Memory is
+// sized so both variants partition in one level (the async fan-out is half).
+func BenchmarkAsyncDistributionSort(b *testing.B) {
+	const n = 1 << 12
+	for _, async := range []bool{false, true} {
+		b.Run(fmt.Sprintf("async=%v", async), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				vol := MustVolume(Config{BlockBytes: 512, MemBlocks: 96, Disks: 4, DiskLatency: 50 * time.Microsecond})
+				pool := PoolFor(vol)
+				f, err := FromSlice(vol, pool, RecordCodec{}, experiments.RandomRecords(42, n))
+				if err != nil {
+					b.Fatal(err)
+				}
+				vol.Stats().Reset()
+				b.StartTimer()
+				sorted, err := DistributionSort(f, pool, Record.Less, &SortOptions{Width: 4, Async: async})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if sorted.Len() != n {
+					b.Fatal("bad output length")
+				}
+				if i == b.N-1 {
+					s := vol.Stats().Snapshot()
+					b.ReportMetric(float64(s.Reads+s.Writes), "blockios")
+					b.ReportMetric(float64(s.Steps), "iosteps")
+				}
+				vol.Close()
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkAsyncBulkLoad measures forecasting read-ahead on B-tree bulk
+// loading: the prefetching input reader overlaps the sorted run's block
+// fetches with leaf packing and node write-backs.
+func BenchmarkAsyncBulkLoad(b *testing.B) {
+	const n = 1 << 12
+	for _, async := range []bool{false, true} {
+		b.Run(fmt.Sprintf("async=%v", async), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				vol := MustVolume(Config{BlockBytes: 512, MemBlocks: 64, Disks: 4, DiskLatency: 50 * time.Microsecond})
+				pool := PoolFor(vol)
+				recs := make([]Record, n)
+				for j := range recs {
+					recs[j] = Record{Key: uint64(j + 1), Val: uint64(j)}
+				}
+				f, err := FromSlice(vol, pool, RecordCodec{}, recs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				vol.Stats().Reset()
+				b.StartTimer()
+				tr, err := BulkLoadBTreeWith(vol, pool, 8, f, &BulkLoadOptions{Width: 4, Async: async})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if tr.Len() != n {
+					b.Fatal("bad tree size")
+				}
+				if i == b.N-1 {
+					s := vol.Stats().Snapshot()
+					b.ReportMetric(float64(s.Reads+s.Writes), "blockios")
+					b.ReportMetric(float64(s.Steps), "iosteps")
+				}
+				if err := tr.Close(); err != nil {
+					b.Fatal(err)
+				}
+				vol.Close()
+				b.StartTimer()
+			}
 		})
 	}
 }

@@ -13,9 +13,10 @@
 // Most numbers are counted block transfers on the instrumented Parallel
 // Disk Model — the survey's currency. Since the volume grew a concurrent
 // per-disk engine with a configurable service latency, wall-clock time is
-// meaningful too: every experiment prints its elapsed time, and F9 sweeps
-// the engine itself (elapsed ms falling ×D at constant block count, and
-// forecasting prefetch overlapping compute with I/O).
+// meaningful too: every experiment prints its elapsed time, F9 sweeps the
+// engine itself (elapsed ms falling ×D at constant block count, and
+// forecasting prefetch overlapping compute with I/O), and F10 extends the
+// forecasting comparison to distribution sort and B-tree bulk loading.
 package main
 
 import (
@@ -146,6 +147,12 @@ var catalogue = []experiment{
 			return experiments.F9ParallelEngine(1<<11, []int{1, 4}, 2*time.Millisecond)
 		}
 		return experiments.F9ParallelEngine(1<<12, []int{1, 2, 4, 8}, 2*time.Millisecond)
+	}},
+	{"F10", "forecasting beyond merge: async distribution sort and bulk load overlap I/O across D", func(q bool) (*experiments.Table, error) {
+		if q {
+			return experiments.F10ForecastSortIndex(1<<13, []int{1, 4}, 2*time.Millisecond)
+		}
+		return experiments.F10ForecastSortIndex(1<<13, []int{1, 2, 4, 8}, 2*time.Millisecond)
 	}},
 }
 

@@ -7,10 +7,13 @@
 //
 // Usage:
 //
-//	emsort [-block bytes] [-mem blocks] [-disks d] [-algo merge|dist|btree] [-runs load|replsel] [-o out.txt] in.txt
+//	emsort [-block bytes] [-mem blocks] [-disks d] [-algo merge|dist|btree] [-runs load|replsel] [-async] [-o out.txt] in.txt
 //
 // The device shape flags set the model's B (bytes), M/B (frames) and D.
-// With -v the tool prints run counts, merge passes, and the I/O ledger.
+// -async switches the merge and distribution sorts to forecast-driven
+// prefetching readers and write-behind writers (identical counted I/Os at
+// equal fan-in/fan-out, double the frames per stream). With -v the tool
+// prints run counts, merge passes, and the I/O ledger.
 package main
 
 import (
@@ -39,6 +42,7 @@ func run() error {
 		disks      = flag.Int("disks", 1, "number of disks (the model's D)")
 		algo       = flag.String("algo", "merge", "sorting algorithm: merge, dist, or btree")
 		runMode    = flag.String("runs", "load", "run formation for merge sort: load or replsel")
+		async      = flag.Bool("async", false, "forecast-driven asynchronous I/O (read-ahead and write-behind)")
 		out        = flag.String("o", "", "output file (default stdout)")
 		verbose    = flag.Bool("v", false, "print the I/O ledger and device shape")
 	)
@@ -63,7 +67,7 @@ func run() error {
 	}
 	vol.Stats().Reset()
 
-	opts := &em.SortOptions{Width: *disks}
+	opts := &em.SortOptions{Width: *disks, Async: *async}
 	switch *runMode {
 	case "load":
 		opts.RunMode = em.LoadSort

@@ -36,14 +36,16 @@
 // and pools are safe for concurrent use; read Stats via Snapshot when I/O
 // may be in flight on other goroutines.
 //
-// On top of the engine, AsyncScan and the SortOptions.Async flag enable
+// On top of the engine, AsyncScan, the SortOptions.Async flag (honoured by
+// both MergeSort and DistributionSort), and BulkLoadBTreeWith enable
 // forecast-driven overlap: prefetching readers keep their next block group
-// in flight (read-ahead — for a sorted run, the block the survey's forecast
-// selects is exactly the next sequential one) and write-behind writers flush
-// the previous group while the caller fills the next. Asynchronous streams
-// hold double buffers charged to the same Pool, so the memory budget M still
-// binds, and they issue the same batches as their synchronous counterparts,
-// so counted I/Os are unchanged at equal fan-in.
+// in flight (read-ahead — for a sequentially consumed file, the block the
+// survey's forecast selects is exactly the next sequential one) and
+// write-behind writers flush the previous group while the caller fills the
+// next. Asynchronous streams hold double buffers charged to the same Pool,
+// so the memory budget M still binds, and they issue the same batches as
+// their synchronous counterparts, so counted I/Os are unchanged at equal
+// fan-in (merge) or fan-out (distribution).
 //
 // The subsystems exposed here are:
 //
@@ -240,9 +242,10 @@ func AsyncScan[T any](f *File[T], pool *Pool, fn func(T) error) error {
 // ---------------------------------------------------------------------------
 
 // SortOptions tunes the external sorts: striping width, run-formation mode,
-// a fan-in cap for experiments, and the Async flag, which switches merge
-// sort to forecast-driven prefetching readers and write-behind writers
-// (same counted I/Os at equal fan-in, overlapped wall-clock).
+// a fan-in/fan-out cap for experiments, and the Async flag, which switches
+// both merge sort and distribution sort to forecast-driven prefetching
+// readers and write-behind writers (same counted I/Os at equal
+// fan-in/fan-out, overlapped wall-clock, half the stream arity).
 type SortOptions = extsort.Options
 
 // RunMode selects the run-formation technique for merge sort.
@@ -264,7 +267,12 @@ func MergeSort[T any](f *File[T], pool *Pool, less func(a, b T) bool, opts *Sort
 }
 
 // DistributionSort sorts f by less with sample-based distribution sort,
-// also Θ(n log_m n) I/Os.
+// also Θ(n log_m n) I/Os. It honours the same SortOptions as MergeSort:
+// Width stripes the partition readers and bucket writers over the disks,
+// and Async switches them to forecasting read-ahead and write-behind
+// (double-buffered streams cost 2×Width frames each, so the distribution
+// fan-out halves — the mirror of the merge fan-in trade). At equal fan-out
+// the counted I/Os match the synchronous path exactly.
 func DistributionSort[T any](f *File[T], pool *Pool, less func(a, b T) bool, opts *SortOptions) (*File[T], error) {
 	return extsort.DistributionSort(f, pool, less, opts)
 }
@@ -353,8 +361,24 @@ func NewBTree(vol *Volume, pool *Pool, cacheFrames int) (*BTree, error) {
 
 // BulkLoadBTree builds a B+-tree bottom-up from a key-sorted record file in
 // Θ(N/B) I/Os — versus Θ(N log_B N) for repeated insertion (experiment T9).
+// The input is read synchronously one block at a time; BulkLoadBTreeWith
+// adds striping and forecasting read-ahead.
 func BulkLoadBTree(vol *Volume, pool *Pool, cacheFrames int, sorted *File[Record]) (*BTree, error) {
-	return btree.BulkLoad(vol, pool, cacheFrames, sorted)
+	return btree.BulkLoad(vol, pool, cacheFrames, sorted, nil)
+}
+
+// BulkLoadOptions tunes BulkLoadBTreeWith's input stream: Width stripes the
+// reads over the disks, and Async keeps the next block group of the sorted
+// run in flight (forecasting read-ahead, 2×Width pool frames) while leaves
+// are packed and nodes written back. Counted I/Os are identical to the
+// synchronous reader's at equal width.
+type BulkLoadOptions = btree.BulkLoadOptions
+
+// BulkLoadBTreeWith is BulkLoadBTree with an options-driven input stream.
+// On any error — unsorted input, failed read, exhausted pool — every block
+// and frame the load took is returned, so the pool is exactly as it was.
+func BulkLoadBTreeWith(vol *Volume, pool *Pool, cacheFrames int, sorted *File[Record], opts *BulkLoadOptions) (*BTree, error) {
+	return btree.BulkLoad(vol, pool, cacheFrames, sorted, opts)
 }
 
 // HashTable is an extendible-hashing dictionary: O(1) expected probes per

@@ -128,3 +128,130 @@ func TestFacadePrefetchReaderAndAsyncWriter(t *testing.T) {
 		t.Fatalf("frame leak: %d", pool.InUse())
 	}
 }
+
+// TestFacadeAsyncDistributionSortOnLatencyVolume runs the async distribution
+// sort end to end on a worker-engine volume through the public API — the
+// options DistributionSort used to silently drop — and verifies the result.
+func TestFacadeAsyncDistributionSortOnLatencyVolume(t *testing.T) {
+	vol := em.MustVolume(em.Config{
+		BlockBytes: 256, MemBlocks: 48, Disks: 4,
+		DiskLatency: 10 * time.Microsecond,
+	})
+	defer vol.Close()
+	pool := em.PoolFor(vol)
+	recs := randomRecords(rand.New(rand.NewSource(11)), 3000)
+	f, err := em.FromSlice(vol, pool, em.RecordCodec{}, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted, err := em.DistributionSort(f, pool, em.Record.Less, &em.SortOptions{Width: 4, Async: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := em.IsSorted(sorted, pool, em.Record.Less)
+	if err != nil || !ok {
+		t.Fatalf("async distribution sort output not sorted (err=%v)", err)
+	}
+	if sorted.Len() != int64(len(recs)) {
+		t.Fatalf("length changed: %d != %d", sorted.Len(), len(recs))
+	}
+	if pool.InUse() != 0 {
+		t.Fatalf("frame leak: %d", pool.InUse())
+	}
+}
+
+// TestFacadeAsyncBulkLoadMatchesSync round-trips a sorted file through the
+// synchronous and forecasting bulk loaders and checks the trees answer
+// identically, with no frames retained beyond the trees' own caches.
+func TestFacadeAsyncBulkLoadMatchesSync(t *testing.T) {
+	vol, pool := env(t, 256, 32, 4)
+	recs := make([]em.Record, 2000)
+	for i := range recs {
+		recs[i] = em.Record{Key: uint64(i + 1), Val: uint64(i * 3)}
+	}
+	f, err := em.FromSlice(vol, pool, em.RecordCodec{}, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sync, err := em.BulkLoadBTree(vol, pool, 8, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	async, err := em.BulkLoadBTreeWith(vol, pool, 8, f, &em.BulkLoadOptions{Width: 4, Async: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		sv, sok, serr := sync.Get(r.Key)
+		av, aok, aerr := async.Get(r.Key)
+		if serr != nil || aerr != nil || !sok || !aok || sv != av || av != r.Val {
+			t.Fatalf("key %d: sync (%d,%v,%v) async (%d,%v,%v)", r.Key, sv, sok, serr, av, aok, aerr)
+		}
+	}
+	if err := sync.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := async.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if pool.InUse() != 0 {
+		t.Fatalf("frame leak: %d", pool.InUse())
+	}
+}
+
+// TestAsyncSortIndexSpeedupGate is the wall-clock acceptance gate for
+// forecasting beyond the merge path, the distribution-side mirror of the
+// engine's TestDiskLatencyParallelSpeedup: at a fixed per-block service
+// latency, the async width-4 distribution sort and B-tree bulk load on four
+// disks must beat their serial one-disk synchronous baselines by >= 1.5x
+// (the model predicts more; 1.5x leaves headroom for scheduler noise).
+func TestAsyncSortIndexSpeedupGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	const latency = 2 * time.Millisecond
+	run := func(disks int, async bool) (distMs, bulkMs time.Duration) {
+		vol := em.MustVolume(em.Config{
+			BlockBytes: 1024, MemBlocks: 96, Disks: disks, DiskLatency: latency,
+		})
+		defer vol.Close()
+		pool := em.PoolFor(vol)
+		recs := randomRecords(rand.New(rand.NewSource(29)), 1<<13)
+		f, err := em.FromSlice(vol, pool, em.RecordCodec{}, recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := &em.SortOptions{Width: disks, Async: async}
+		start := time.Now()
+		sorted, err := em.DistributionSort(f, pool, em.Record.Less, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		distMs = time.Since(start)
+		start = time.Now()
+		tr, err := em.BulkLoadBTreeWith(vol, pool, 8, sorted, &em.BulkLoadOptions{Width: disks, Async: async})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bulkMs = time.Since(start)
+		if tr.Len() != sorted.Len() {
+			t.Fatalf("bulk load lost records: %d != %d", tr.Len(), sorted.Len())
+		}
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return distMs, bulkMs
+	}
+	serialDist, serialBulk := run(1, false)
+	asyncDist, asyncBulk := run(4, true)
+	distSpeedup := float64(serialDist) / float64(asyncDist)
+	bulkSpeedup := float64(serialBulk) / float64(asyncBulk)
+	t.Logf("dist: D=1 sync %v, D=4 async %v, speedup %.2fx", serialDist, asyncDist, distSpeedup)
+	t.Logf("bulk: D=1 sync %v, D=4 async %v, speedup %.2fx", serialBulk, asyncBulk, bulkSpeedup)
+	if distSpeedup < 1.5 {
+		t.Errorf("async distribution sort D=4 speedup %.2fx, want >= 1.5x", distSpeedup)
+	}
+	if bulkSpeedup < 1.5 {
+		t.Errorf("async bulk load D=4 speedup %.2fx, want >= 1.5x", bulkSpeedup)
+	}
+}

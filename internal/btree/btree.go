@@ -7,6 +7,12 @@
 // overwrites). Nodes occupy exactly one block. Blocks move through a small
 // pinning cache so that repeated root/branch accesses hit memory, exactly as
 // a database buffer manager would serve them.
+//
+// BulkLoad's input can be striped over the disks and driven by a
+// forecasting prefetch reader (see BulkLoadOptions): the sorted run is
+// consumed strictly in order, so its next block group stays in flight while
+// leaves are packed and nodes written back, at counted I/Os identical to
+// the synchronous reader's.
 package btree
 
 import (
@@ -142,11 +148,14 @@ func (t *Tree) setChild(p *cache.Page, i int, a int64) {
 	p.MarkDirty()
 }
 
-// newNode allocates and pins a fresh zeroed node page.
+// newNode allocates and pins a fresh zeroed node page. If the cache cannot
+// admit the page (pool exhausted, every frame pinned), the just-allocated
+// block is returned to the volume rather than stranded.
 func (t *Tree) newNode(leaf bool) (*cache.Page, error) {
 	addr := t.vol.Alloc(1)
 	p, err := t.cache.GetNew(addr)
 	if err != nil {
+		t.vol.Free(addr)
 		return nil, err
 	}
 	var flags uint16

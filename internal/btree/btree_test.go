@@ -286,7 +286,7 @@ func TestBulkLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr, err := BulkLoad(vol, pool, 8, f)
+	tr, err := BulkLoad(vol, pool, 8, f, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -319,7 +319,7 @@ func TestBulkLoad(t *testing.T) {
 func TestBulkLoadEmptyAndTiny(t *testing.T) {
 	vol, pool := newEnv(t)
 	empty := stream.NewFile[record.Record](vol, record.RecordCodec{})
-	tr, err := BulkLoad(vol, pool, 8, empty)
+	tr, err := BulkLoad(vol, pool, 8, empty, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -330,7 +330,7 @@ func TestBulkLoadEmptyAndTiny(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr2, err := BulkLoad(vol, pool, 8, one)
+	tr2, err := BulkLoad(vol, pool, 8, one, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -348,7 +348,7 @@ func TestBulkLoadRejectsUnsorted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := BulkLoad(vol, pool, 8, f); err == nil {
+	if _, err := BulkLoad(vol, pool, 8, f, nil); err == nil {
 		t.Fatal("unsorted input accepted")
 	}
 	dup, err := stream.FromSlice(vol, pool, record.RecordCodec{}, []record.Record{
@@ -357,7 +357,7 @@ func TestBulkLoadRejectsUnsorted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := BulkLoad(vol, pool, 8, dup); err == nil {
+	if _, err := BulkLoad(vol, pool, 8, dup, nil); err == nil {
 		t.Fatal("duplicate keys accepted")
 	}
 }
@@ -369,7 +369,7 @@ func TestBulkLoadInsertAfter(t *testing.T) {
 		recs[i] = record.Record{Key: uint64(i * 10), Val: uint64(i)}
 	}
 	f, _ := stream.FromSlice(vol, pool, record.RecordCodec{}, recs)
-	tr, err := BulkLoad(vol, pool, 8, f)
+	tr, err := BulkLoad(vol, pool, 8, f, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -403,7 +403,7 @@ func TestBulkLoadIOCheaperThanInserts(t *testing.T) {
 	}
 	f, _ := stream.FromSlice(vol, pool, record.RecordCodec{}, recs)
 	vol.Stats().Reset()
-	if _, err := BulkLoad(vol, pool, 8, f); err != nil {
+	if _, err := BulkLoad(vol, pool, 8, f, nil); err != nil {
 		t.Fatal(err)
 	}
 	bulkIO := vol.Stats().Total()

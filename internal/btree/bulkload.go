@@ -3,6 +3,7 @@ package btree
 import (
 	"errors"
 
+	"em/internal/cache"
 	"em/internal/pdm"
 	"em/internal/record"
 	"em/internal/stream"
@@ -12,18 +13,81 @@ import (
 // increasing by key.
 var ErrUnsortedInput = errors.New("btree: bulk load input not strictly sorted by key")
 
+// BulkLoadOptions tunes the bulk loader's input stream. The node writes
+// themselves go through the tree's buffer manager either way.
+type BulkLoadOptions struct {
+	// Width is the striping width of the input reader; set it to the
+	// volume's disk count D to fetch D blocks per parallel batch. Zero
+	// means 1.
+	Width int
+	// Async drives the input through a forecasting PrefetchReader: the next
+	// block group of the sorted run stays in flight while the loader packs
+	// leaves and writes nodes back — the survey's read-ahead applied to
+	// index construction. The reader then holds 2×Width pool frames instead
+	// of Width; counted I/Os are identical to the synchronous reader's at
+	// equal width.
+	Async bool
+}
+
+func (o *BulkLoadOptions) width() int {
+	if o == nil || o.Width < 1 {
+		return 1
+	}
+	return o.Width
+}
+
+// openReader opens the sorted input according to opts: striped when
+// synchronous, forecasting when async.
+func (o *BulkLoadOptions) openReader(sorted *stream.File[record.Record], pool *pdm.Pool) (stream.Source[record.Record], error) {
+	return stream.OpenSource(sorted, pool, o.width(), o != nil && o.Async)
+}
+
 // BulkLoad builds a tree bottom-up from a stream of records sorted strictly
 // by key. Leaves are filled left to right at fill-factor occupancy, then
 // each internal level is built over the previous one; the whole construction
 // costs Θ(N/B) I/Os on top of the sort that produced the input — the
 // survey's Sort(N) index-construction bound, versus Θ(N·log_B N) for
-// repeated insertion (experiment T9).
-func BulkLoad(vol *pdm.Volume, pool *pdm.Pool, cacheFrames int, sorted *stream.File[record.Record]) (*Tree, error) {
+// repeated insertion (experiment T9). A nil opts reads the input with a
+// synchronous width-1 reader.
+//
+// On any error — unsorted input, a failed read, an exhausted pool — every
+// node allocated by the load is freed, every cache frame is returned, and no
+// page stays pinned, so the caller's pool is exactly as it was.
+func BulkLoad(vol *pdm.Volume, pool *pdm.Pool, cacheFrames int, sorted *stream.File[record.Record], opts *BulkLoadOptions) (*Tree, error) {
 	t, err := New(vol, pool, cacheFrames)
 	if err != nil {
 		return nil, err
 	}
-	r, err := stream.NewReader(sorted, pool)
+	// Failure cleanup: unpin whatever node was mid-construction, then drop
+	// and free every block the load (and New's placeholder root) allocated.
+	// That leaves the cache empty, so Close returns its frames without
+	// flushing garbage nodes to the volume.
+	done := false
+	var pinned *cache.Page
+	nodes := []int64{t.root}
+	defer func() {
+		if done {
+			return
+		}
+		if pinned != nil {
+			t.cache.Unpin(pinned)
+		}
+		for _, a := range nodes {
+			t.cache.Drop(a)
+			t.vol.Free(a)
+		}
+		t.cache.Close()
+	}()
+	newNode := func(leaf bool) (*cache.Page, error) {
+		p, err := t.newNode(leaf)
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, p.Addr())
+		return p, nil
+	}
+
+	r, err := opts.openReader(sorted, pool)
 	if err != nil {
 		return nil, err
 	}
@@ -39,10 +103,11 @@ func BulkLoad(vol *pdm.Volume, pool *pdm.Pool, cacheFrames int, sorted *stream.F
 	// Build the leaf level.
 	var prevKey uint64
 	havePrev := false
-	cur, err := t.newNode(true)
+	cur, err := newNode(true)
 	if err != nil {
 		return nil, err
 	}
+	pinned = cur
 	curCount := 0
 	flushLeaf := func() error {
 		if curCount == 0 {
@@ -60,6 +125,7 @@ func BulkLoad(vol *pdm.Volume, pool *pdm.Pool, cacheFrames int, sorted *stream.F
 		}
 		prevLeaf = cur.Addr()
 		t.cache.Unpin(cur)
+		pinned = nil
 		return nil
 	}
 	for {
@@ -78,10 +144,11 @@ func BulkLoad(vol *pdm.Volume, pool *pdm.Pool, cacheFrames int, sorted *stream.F
 			if err := flushLeaf(); err != nil {
 				return nil, err
 			}
-			cur, err = t.newNode(true)
+			cur, err = newNode(true)
 			if err != nil {
 				return nil, err
 			}
+			pinned = cur
 			curCount = 0
 		}
 		setLeafKV(cur, curCount, rec.Key, rec.Val)
@@ -92,13 +159,13 @@ func BulkLoad(vol *pdm.Volume, pool *pdm.Pool, cacheFrames int, sorted *stream.F
 		if err := flushLeaf(); err != nil {
 			return nil, err
 		}
-	} else if len(leaves) == 0 {
-		// Empty input: keep the fresh empty leaf as root.
+	} else {
+		// curCount can only be zero here when no record was ever placed: a
+		// leaf is allocated only immediately before a record lands in it, so
+		// the fresh leaf is the tree's sole node — keep it as the empty root.
 		leaves = append(leaves, levelEntry{firstKey: 0, addr: cur.Addr()})
 		t.cache.Unpin(cur)
-	} else {
-		t.cache.Unpin(cur)
-		t.vol.Free(cur.Addr())
+		pinned = nil
 	}
 
 	// Build internal levels until a single node remains.
@@ -112,10 +179,11 @@ func BulkLoad(vol *pdm.Volume, pool *pdm.Pool, cacheFrames int, sorted *stream.F
 			if hi > len(level) {
 				hi = len(level)
 			}
-			node, err := t.newNode(false)
+			node, err := newNode(false)
 			if err != nil {
 				return nil, err
 			}
+			pinned = node
 			group := level[i:hi]
 			for j, e := range group {
 				t.setChild(node, j, e.addr)
@@ -126,6 +194,7 @@ func BulkLoad(vol *pdm.Volume, pool *pdm.Pool, cacheFrames int, sorted *stream.F
 			setCount(node, len(group)-1)
 			next = append(next, levelEntry{firstKey: group[0].firstKey, addr: node.Addr()})
 			t.cache.Unpin(node)
+			pinned = nil
 			i = hi
 		}
 		level = next
@@ -138,5 +207,6 @@ func BulkLoad(vol *pdm.Volume, pool *pdm.Pool, cacheFrames int, sorted *stream.F
 	}
 	t.root = level[0].addr
 	t.height = height
+	done = true
 	return t, nil
 }

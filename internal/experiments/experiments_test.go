@@ -357,3 +357,34 @@ func TestF9ParallelEngineShape(t *testing.T) {
 		}
 	}
 }
+
+func TestF10ForecastShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	tab, err := F10ForecastSortIndex(1<<13, []int{1, 4}, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, d4 := tab.Rows[0], tab.Rows[1]
+	// The async paths must never lose to their synchronous twins at the
+	// same D (they should win at D>1; 15% tolerates scheduler noise).
+	for _, r := range tab.Rows {
+		for _, w := range []string{"dist", "bulk"} {
+			if r.Cells[w+"AsyncMs"] > 1.15*r.Cells[w+"SyncMs"] {
+				t.Errorf("%s: async %s %.1fms slower than sync %.1fms",
+					r.Label, w, r.Cells[w+"AsyncMs"], r.Cells[w+"SyncMs"])
+			}
+		}
+	}
+	// Forecasting plus striping must beat the serial baseline well past the
+	// 1.5x gate: D=4 async vs D=1 sync.
+	for _, w := range []string{"dist", "bulk"} {
+		speedup := d1.Cells[w+"SyncMs"] / d4.Cells[w+"AsyncMs"]
+		t.Logf("%s: D=1 sync %.1fms, D=4 async %.1fms, speedup %.2fx",
+			w, d1.Cells[w+"SyncMs"], d4.Cells[w+"AsyncMs"], speedup)
+		if speedup < 1.5 {
+			t.Errorf("%s: D=4 async speedup %.2fx over D=1 sync, want >= 1.5x", w, speedup)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"em/internal/btree"
+	"em/internal/extsort"
+	"em/internal/pdm"
+	"em/internal/record"
+	"em/internal/stream"
+)
+
+// F10ForecastSortIndex measures forecasting beyond the merge path: the
+// synchronous and asynchronous distribution sort and B-tree bulk load on a
+// worker-engine volume with a fixed per-block service latency, swept over
+// disk counts. The async paths issue the same counted I/Os (pinned by the
+// extsort and btree test suites at equal fan-out/width); what this
+// experiment shows is the wall clock — elapsed milliseconds falling with D
+// as width-D striping spreads each batch over the disks, and read-ahead /
+// write-behind overlapping partition reads with bucket writes (sort) and
+// input reads with node write-backs (bulk load).
+//
+// Like F9 this experiment's currency is wall-clock time, so absolute numbers
+// vary with the host; the asserted shape is across D and async-vs-sync.
+func F10ForecastSortIndex(n int, disks []int, latency time.Duration) (*Table, error) {
+	t := &Table{
+		ID:    "F10",
+		Title: "forecasting beyond merge: async distribution sort and bulk load vs their sync paths across D",
+		Notes: "asyncMs <= syncMs at each D; D=4 async beats D=1 sync >= 1.5x for both workloads",
+	}
+	for _, d := range disks {
+		row, err := forecastPoint(n, d, latency)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, *row)
+	}
+	return t, nil
+}
+
+// forecastPoint runs the four timed workloads for one disk count, owning the
+// volume for exactly its scope.
+func forecastPoint(n, d int, latency time.Duration) (*Row, error) {
+	// Memory is sized so the halved async fan-out still partitions in the
+	// same number of levels as the synchronous path across the D sweep;
+	// with a too-small M the async run pays extra passes (its fan-out is
+	// half), which is the documented trade, not the overlap under test.
+	cfg := pdm.Config{BlockBytes: 1024, MemBlocks: 96, Disks: d, DiskLatency: latency}
+	vol, err := pdm.NewVolume(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer vol.Close()
+	pool := pdm.PoolFor(vol)
+
+	f, err := stream.FromSlice(vol, pool, record.RecordCodec{}, RandomRecords(23, n))
+	if err != nil {
+		return nil, err
+	}
+	timeDist := func(async bool) (float64, error) {
+		start := time.Now()
+		out, err := extsort.DistributionSort(f, pool, record.Record.Less, &extsort.Options{Width: d, Async: async})
+		if err != nil {
+			return 0, err
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		out.Release()
+		return ms, nil
+	}
+	distSyncMs, err := timeDist(false)
+	if err != nil {
+		return nil, err
+	}
+	distAsyncMs, err := timeDist(true)
+	if err != nil {
+		return nil, err
+	}
+
+	sorted := make([]record.Record, n)
+	for i := range sorted {
+		sorted[i] = record.Record{Key: uint64(i + 1), Val: uint64(i)}
+	}
+	sf, err := stream.FromSlice(vol, pool, record.RecordCodec{}, sorted)
+	if err != nil {
+		return nil, err
+	}
+	timeBulk := func(async bool) (float64, error) {
+		start := time.Now()
+		tr, err := btree.BulkLoad(vol, pool, 8, sf, &btree.BulkLoadOptions{Width: d, Async: async})
+		if err != nil {
+			return 0, err
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		return ms, tr.Close()
+	}
+	bulkSyncMs, err := timeBulk(false)
+	if err != nil {
+		return nil, err
+	}
+	bulkAsyncMs, err := timeBulk(true)
+	if err != nil {
+		return nil, err
+	}
+
+	return &Row{
+		Label: fmt.Sprintf("D=%d", d),
+		Cells: map[string]float64{
+			"distSyncMs":  distSyncMs,
+			"distAsyncMs": distAsyncMs,
+			"bulkSyncMs":  bulkSyncMs,
+			"bulkAsyncMs": bulkAsyncMs,
+		},
+		Order: []string{"distSyncMs", "distAsyncMs", "bulkSyncMs", "bulkAsyncMs"},
+	}, nil
+}

@@ -26,94 +26,91 @@ func F9ParallelEngine(n int, disks []int, latency time.Duration) (*Table, error)
 		Notes: "ms ≈ ms(D=1)/D; blockReads constant; asyncMs < syncMs under per-record compute",
 	}
 	for _, d := range disks {
-		cfg := pdm.Config{BlockBytes: 1024, MemBlocks: 32, Disks: d, DiskLatency: latency}
-		vol, err := pdm.NewVolume(cfg)
+		row, err := enginePoint(n, d, latency)
 		if err != nil {
 			return nil, err
 		}
-		pool := pdm.PoolFor(vol)
-		rs := RandomRecords(17, n)
-		f, err := stream.FromSlice(vol, pool, record.RecordCodec{}, rs)
-		if err != nil {
-			vol.Close()
-			return nil, err
-		}
-
-		// Plain striped scan, width D: one parallel step per batch.
-		vol.Stats().Reset()
-		start := time.Now()
-		r, err := stream.NewStripedReader(f, pool, d)
-		if err != nil {
-			vol.Close()
-			return nil, err
-		}
-		for {
-			_, ok, err := r.Next()
-			if err != nil {
-				vol.Close()
-				return nil, err
-			}
-			if !ok {
-				break
-			}
-		}
-		r.Close()
-		scanMs := float64(time.Since(start).Microseconds()) / 1000
-		scanReads := float64(vol.Stats().Reads)
-		scanSteps := float64(vol.Stats().Steps)
-
-		// Synchronous vs forecasting scan with per-record compute sized so a
-		// block's worth of processing is comparable to its service latency —
-		// the regime where read-ahead pays.
-		work := func(rec record.Record) {
-			h := rec.Key
-			for i := 0; i < 85000; i++ {
-				h = h*2654435761 + rec.Val
-			}
-			_ = h
-		}
-		start = time.Now()
-		sr, err := stream.NewStripedReader(f, pool, 1)
-		if err != nil {
-			vol.Close()
-			return nil, err
-		}
-		for {
-			v, ok, err := sr.Next()
-			if err != nil {
-				vol.Close()
-				return nil, err
-			}
-			if !ok {
-				break
-			}
-			work(v)
-		}
-		sr.Close()
-		syncMs := float64(time.Since(start).Microseconds()) / 1000
-
-		start = time.Now()
-		if err := stream.AsyncForEach(f, pool, 1, func(v record.Record) error {
-			work(v)
-			return nil
-		}); err != nil {
-			vol.Close()
-			return nil, err
-		}
-		asyncMs := float64(time.Since(start).Microseconds()) / 1000
-		vol.Close()
-
-		t.Rows = append(t.Rows, Row{
-			Label: fmt.Sprintf("D=%d", d),
-			Cells: map[string]float64{
-				"blockReads": scanReads,
-				"scanSteps":  scanSteps,
-				"scanMs":     scanMs,
-				"syncMs":     syncMs,
-				"asyncMs":    asyncMs,
-			},
-			Order: []string{"blockReads", "scanSteps", "scanMs", "syncMs", "asyncMs"},
-		})
+		t.Rows = append(t.Rows, *row)
 	}
 	return t, nil
+}
+
+// enginePoint runs the three timed scans for one disk count, owning the
+// volume (and each reader's frames) for exactly its scope.
+func enginePoint(n, d int, latency time.Duration) (*Row, error) {
+	cfg := pdm.Config{BlockBytes: 1024, MemBlocks: 32, Disks: d, DiskLatency: latency}
+	vol, err := pdm.NewVolume(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer vol.Close()
+	pool := pdm.PoolFor(vol)
+	rs := RandomRecords(17, n)
+	f, err := stream.FromSlice(vol, pool, record.RecordCodec{}, rs)
+	if err != nil {
+		return nil, err
+	}
+
+	// timedScan drains f through a width-w striped reader, feeding each
+	// record to fn, and returns the elapsed milliseconds.
+	timedScan := func(width int, fn func(record.Record)) (float64, error) {
+		start := time.Now()
+		r, err := stream.NewStripedReader(f, pool, width)
+		if err != nil {
+			return 0, err
+		}
+		defer r.Close()
+		if err := stream.Drain[record.Record](r, func(v record.Record) error {
+			fn(v)
+			return nil
+		}); err != nil {
+			return 0, err
+		}
+		return float64(time.Since(start).Microseconds()) / 1000, nil
+	}
+
+	// Plain striped scan, width D: one parallel step per batch.
+	vol.Stats().Reset()
+	scanMs, err := timedScan(d, func(record.Record) {})
+	if err != nil {
+		return nil, err
+	}
+	scanReads := float64(vol.Stats().Reads)
+	scanSteps := float64(vol.Stats().Steps)
+
+	// Synchronous vs forecasting scan with per-record compute sized so a
+	// block's worth of processing is comparable to its service latency —
+	// the regime where read-ahead pays.
+	work := func(rec record.Record) {
+		h := rec.Key
+		for i := 0; i < 85000; i++ {
+			h = h*2654435761 + rec.Val
+		}
+		_ = h
+	}
+	syncMs, err := timedScan(1, work)
+	if err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	if err := stream.AsyncForEach(f, pool, 1, func(v record.Record) error {
+		work(v)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	asyncMs := float64(time.Since(start).Microseconds()) / 1000
+
+	return &Row{
+		Label: fmt.Sprintf("D=%d", d),
+		Cells: map[string]float64{
+			"blockReads": scanReads,
+			"scanSteps":  scanSteps,
+			"scanMs":     scanMs,
+			"syncMs":     syncMs,
+			"asyncMs":    asyncMs,
+		},
+		Order: []string{"blockReads", "scanSteps", "scanMs", "syncMs", "asyncMs"},
+	}, nil
 }

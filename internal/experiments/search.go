@@ -17,7 +17,7 @@ import (
 // bulkLoadFromSorted builds a B-tree from a key-sorted record file with a
 // minimal cache, for search-cost measurements.
 func bulkLoadFromSorted(e Env, sorted *stream.File[record.Record]) (*btree.Tree, error) {
-	return btree.BulkLoad(e.Vol, e.Pool, 3, sorted)
+	return btree.BulkLoad(e.Vol, e.Pool, 3, sorted, nil)
 }
 
 // coldLookupCost measures the average block reads per point lookup against
@@ -314,7 +314,7 @@ func T9BulkLoad(ns []int) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		bt, err := btree.BulkLoad(e.Vol, e.Pool, 4, sorted)
+		bt, err := btree.BulkLoad(e.Vol, e.Pool, 4, sorted, nil)
 		if err != nil {
 			return nil, err
 		}

@@ -15,46 +15,61 @@ import (
 // memory, then load-sort it. Like merge sort it performs Θ(n·log_m n) I/Os,
 // but passes data top-down through splitters instead of bottom-up through
 // merges.
+//
+// The same Options drive it as MergeSort: Width stripes every reader and
+// bucket writer over the disks, and Async switches them to forecasting
+// read-ahead and write-behind (a partitioning pass is consumed strictly in
+// order, so the forecast block is the next sequential one, exactly as for a
+// sorted run). Asynchronous streams hold 2×Width frames, so the fan-out
+// halves — the distribution-side mirror of the merge fan-in trade. At equal
+// fan-out the counted I/Os are identical to the synchronous path; only
+// wall-clock overlap changes.
 func DistributionSort[T any](f *stream.File[T], pool *pdm.Pool, less func(a, b T) bool, opts *Options) (*stream.File[T], error) {
-	w := opts.width()
 	out := stream.NewFile[T](f.Vol(), f.Codec())
-	ow, err := stream.NewStripedWriter(out, pool, w)
+	ow, err := openSink(out, pool, opts)
 	if err != nil {
 		return nil, err
 	}
-	d := &distSorter[T]{pool: pool, less: less, width: w, opts: opts, rng: rand.New(rand.NewSource(0x5EED))}
+	d := &distSorter[T]{pool: pool, less: less, opts: opts, rng: rand.New(rand.NewSource(0x5EED))}
 	if err := d.sortInto(f, ow, false); err != nil {
 		ow.Close()
+		out.Release()
 		return nil, err
 	}
 	if err := ow.Close(); err != nil {
+		out.Release()
 		return nil, err
 	}
 	return out, nil
 }
 
 type distSorter[T any] struct {
-	pool  *pdm.Pool
-	less  func(a, b T) bool
-	width int
-	opts  *Options
-	rng   *rand.Rand
+	pool *pdm.Pool
+	less func(a, b T) bool
+	opts *Options
+	rng  *rand.Rand
 }
 
 // memRecords returns how many records fit in the frames left after reserving
-// reader and writer buffers.
-func (d *distSorter[T]) memRecords(f *stream.File[T]) int {
-	frames := d.pool.Free() - 2*d.width
+// the input reader's buffers (the output writer is already open, so its
+// frames are charged). A pool that cannot host even the reader is an error,
+// the same loud failure formRunsLoadSort gives.
+func (d *distSorter[T]) memRecords(f *stream.File[T]) (int, error) {
+	sf := d.opts.streamFrames()
+	frames := d.pool.Free() - sf
 	if frames < 1 {
-		frames = 1
+		return 0, fmt.Errorf("%w: %d frames free, need > %d", ErrEmptyPool, d.pool.Free(), sf)
 	}
-	return frames * f.PerBlock()
+	return frames * f.PerBlock(), nil
 }
 
-// fanOut returns the number of buckets per level: one writer frame per
-// bucket plus a reader and the (already open) output writer.
+// fanOut returns the number of buckets per level: each bucket writer costs
+// streamFrames() pool frames (Width synchronously, 2×Width asynchronously —
+// the same per-stream charge maxFanIn levies on the merge side), as does the
+// partition-pass reader; the output writer is already open.
 func (d *distSorter[T]) fanOut() int {
-	fo := d.pool.Free() - 2*d.width
+	sf := d.opts.streamFrames()
+	fo := (d.pool.Free() - sf) / sf
 	if d.opts != nil && d.opts.ForceFanIn > 0 && d.opts.ForceFanIn < fo {
 		fo = d.opts.ForceFanIn
 	}
@@ -63,7 +78,7 @@ func (d *distSorter[T]) fanOut() int {
 
 // sortInto writes the sorted contents of f to ow. If owned, f is released
 // once consumed.
-func (d *distSorter[T]) sortInto(f *stream.File[T], ow *stream.Writer[T], owned bool) error {
+func (d *distSorter[T]) sortInto(f *stream.File[T], ow stream.Sink[T], owned bool) error {
 	defer func() {
 		if owned {
 			f.Release()
@@ -72,7 +87,11 @@ func (d *distSorter[T]) sortInto(f *stream.File[T], ow *stream.Writer[T], owned 
 	if f.Len() == 0 {
 		return nil
 	}
-	if f.Len() <= int64(d.memRecords(f)) {
+	memRecs, err := d.memRecords(f)
+	if err != nil {
+		return err
+	}
+	if f.Len() <= int64(memRecs) {
 		return d.baseCase(f, ow)
 	}
 	fo := d.fanOut()
@@ -87,26 +106,38 @@ func (d *distSorter[T]) sortInto(f *stream.File[T], ow *stream.Writer[T], owned 
 	if err != nil {
 		return err
 	}
-	for _, b := range buckets {
+	for i, b := range buckets {
 		// A bucket equal to the whole input (all-equal keys defeat the
 		// splitters) must fall back to the base case to guarantee progress.
-		if b.Len() == f.Len() && b.Len() > int64(d.memRecords(f)) {
-			if err := d.fallbackMerge(b, ow); err != nil {
-				return err
-			}
-			continue
+		if b.Len() == f.Len() && b.Len() > int64(memRecs) {
+			err = d.fallbackMerge(b, ow)
+		} else {
+			err = d.sortInto(b, ow, true)
 		}
-		if err := d.sortInto(b, ow, true); err != nil {
+		if err != nil {
+			// The failed bucket was released by its consumer; the rest would
+			// otherwise strand their blocks.
+			for _, rest := range buckets[i+1:] {
+				rest.Release()
+			}
 			return err
 		}
 	}
 	return nil
 }
 
-// baseCase load-sorts a memory-sized file into ow.
-func (d *distSorter[T]) baseCase(f *stream.File[T], ow *stream.Writer[T]) error {
+// baseCase load-sorts a memory-sized file into ow. The record buffer is
+// charged to the pool for its block equivalent — as formRunsLoadSort charges
+// its run buffer — so the memory bound M stays enforced, not just computed.
+func (d *distSorter[T]) baseCase(f *stream.File[T], ow stream.Sink[T]) error {
+	bufFrames := int((f.Len() + int64(f.PerBlock()) - 1) / int64(f.PerBlock()))
+	reserve, err := d.pool.AllocN(bufFrames)
+	if err != nil {
+		return err
+	}
+	defer pdm.ReleaseAll(reserve)
 	buf := make([]T, 0, f.Len())
-	if err := stream.ForEach(f, d.pool, func(v T) error {
+	if err := forEach(f, d.pool, d.opts, func(v T) error {
 		buf = append(buf, v)
 		return nil
 	}); err != nil {
@@ -123,14 +154,14 @@ func (d *distSorter[T]) baseCase(f *stream.File[T], ow *stream.Writer[T]) error 
 
 // fallbackMerge handles pathological all-equal buckets with a merge sort,
 // whose progress does not depend on key diversity. It writes sorted output
-// to ow and releases b.
-func (d *distSorter[T]) fallbackMerge(b *stream.File[T], ow *stream.Writer[T]) error {
+// to ow and releases b, on the error paths included.
+func (d *distSorter[T]) fallbackMerge(b *stream.File[T], ow stream.Sink[T]) error {
 	sorted, err := MergeSort(b, d.pool, d.less, d.opts)
+	b.Release()
 	if err != nil {
 		return err
 	}
-	b.Release()
-	err = stream.ForEach(sorted, d.pool, func(v T) error { return ow.Append(v) })
+	err = forEach(sorted, d.pool, d.opts, func(v T) error { return ow.Append(v) })
 	sorted.Release()
 	return err
 }
@@ -142,7 +173,7 @@ func (d *distSorter[T]) sampleSplitters(f *stream.File[T], k int) ([]T, error) {
 	sampleSize := 8 * (k + 1)
 	sample := make([]T, 0, sampleSize)
 	seen := 0
-	err := stream.ForEach(f, d.pool, func(v T) error {
+	err := forEach(f, d.pool, d.opts, func(v T) error {
 		seen++
 		if len(sample) < sampleSize {
 			sample = append(sample, v)
@@ -168,35 +199,42 @@ func (d *distSorter[T]) sampleSplitters(f *stream.File[T], k int) ([]T, error) {
 func (d *distSorter[T]) partition(f *stream.File[T], splitters []T) ([]*stream.File[T], error) {
 	nb := len(splitters) + 1
 	buckets := make([]*stream.File[T], nb)
-	writers := make([]*stream.Writer[T], nb)
-	closeAll := func() {
+	writers := make([]stream.Sink[T], nb)
+	// fail closes every writer still open and releases every bucket file
+	// created so far, so a mid-partition error can strand neither pool
+	// frames nor volume blocks. Closing a closed writer is a no-op.
+	fail := func(err error) error {
 		for _, w := range writers {
 			if w != nil {
 				w.Close()
 			}
 		}
+		for _, b := range buckets {
+			if b != nil {
+				b.Release()
+			}
+		}
+		return err
 	}
 	for i := range buckets {
 		buckets[i] = stream.NewFile[T](f.Vol(), f.Codec())
-		w, err := stream.NewWriter(buckets[i], d.pool)
+		w, err := openSink(buckets[i], d.pool, d.opts)
 		if err != nil {
-			closeAll()
-			return nil, err
+			return nil, fail(err)
 		}
 		writers[i] = w
 	}
-	err := stream.ForEach(f, d.pool, func(v T) error {
+	err := forEach(f, d.pool, d.opts, func(v T) error {
 		// Binary search for the first splitter greater than v.
 		i := sort.Search(len(splitters), func(i int) bool { return d.less(v, splitters[i]) })
 		return writers[i].Append(v)
 	})
 	if err != nil {
-		closeAll()
-		return nil, err
+		return nil, fail(err)
 	}
 	for _, w := range writers {
 		if err := w.Close(); err != nil {
-			return nil, err
+			return nil, fail(err)
 		}
 	}
 	return buckets, nil

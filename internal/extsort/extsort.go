@@ -58,15 +58,18 @@ type Options struct {
 	// the pool would allow; zero means use the maximum. Experiments use it
 	// to sweep the effective M/B.
 	ForceFanIn int
-	// Async enables forecast-driven asynchronous I/O for merge sort: every
-	// run reader keeps its next block group in flight (the survey's
-	// forecasting read-ahead — for a sorted run the block holding the
-	// smallest pending key is simply its next sequential block), and writers
-	// flush behind the caller. Each open stream then holds 2×Width frames
-	// instead of Width, so the maximum fan-in halves — the same
-	// memory-for-overlap trade the survey charges striped merging. I/O
-	// counters are identical to the synchronous path at equal fan-in; only
-	// wall-clock overlap changes.
+	// Async enables forecast-driven asynchronous I/O for both optimal sorts:
+	// every reader keeps its next block group in flight (the survey's
+	// forecasting read-ahead — for a sequentially consumed file the block
+	// holding the smallest pending key is simply its next sequential block),
+	// and writers flush behind the caller. In merge sort that covers the run
+	// readers and the merged-output writer; in distribution sort the
+	// splitter-sampling and partition readers and the per-bucket write-behind
+	// writers. Each open stream then holds 2×Width frames instead of Width,
+	// so the maximum merge fan-in — and, symmetrically, the distribution
+	// fan-out — halves: the same memory-for-overlap trade the survey charges
+	// striped merging. I/O counters are identical to the synchronous path at
+	// equal fan-in/fan-out; only wall-clock overlap changes.
 	Async bool
 }
 
@@ -96,36 +99,27 @@ func (o *Options) streamFrames() int {
 	return o.width()
 }
 
-// source is the record-producing side shared by synchronous and prefetching
-// readers.
-type source[T any] interface {
-	Next() (v T, ok bool, err error)
-	Close()
-}
-
-// sink is the record-consuming side shared by synchronous and write-behind
-// writers.
-type sink[T any] interface {
-	Append(v T) error
-	Close() error
-}
-
 // openSource opens a reader over f according to opts: striped when
 // synchronous, prefetching when async.
-func openSource[T any](f *stream.File[T], pool *pdm.Pool, opts *Options) (source[T], error) {
-	if opts.async() {
-		return stream.NewPrefetchReader(f, pool, opts.width())
-	}
-	return stream.NewStripedReader(f, pool, opts.width())
+func openSource[T any](f *stream.File[T], pool *pdm.Pool, opts *Options) (stream.Source[T], error) {
+	return stream.OpenSource(f, pool, opts.width(), opts.async())
 }
 
 // openSink opens a writer appending to f according to opts: striped when
 // synchronous, write-behind when async.
-func openSink[T any](f *stream.File[T], pool *pdm.Pool, opts *Options) (sink[T], error) {
-	if opts.async() {
-		return stream.NewAsyncWriter(f, pool, opts.width())
+func openSink[T any](f *stream.File[T], pool *pdm.Pool, opts *Options) (stream.Sink[T], error) {
+	return stream.OpenSink(f, pool, opts.width(), opts.async())
+}
+
+// forEach streams every record of f through fn with an options-driven reader,
+// the openSource analogue of stream.ForEach.
+func forEach[T any](f *stream.File[T], pool *pdm.Pool, opts *Options, fn func(T) error) error {
+	r, err := openSource(f, pool, opts)
+	if err != nil {
+		return err
 	}
-	return stream.NewStripedWriter(f, pool, opts.width())
+	defer r.Close()
+	return stream.Drain(r, fn)
 }
 
 // MergeSort sorts f by less into a new file using multiway external merge
@@ -137,6 +131,7 @@ func MergeSort[T any](f *stream.File[T], pool *pdm.Pool, less func(a, b T) bool,
 	}
 	out, err := MergeRuns(runs, pool, less, opts)
 	if err != nil {
+		// MergeRuns released the runs and its intermediates.
 		return nil, err
 	}
 	for _, r := range runs {
@@ -179,6 +174,14 @@ func formRunsLoadSort[T any](f *stream.File[T], pool *pdm.Pool, less func(a, b T
 	defer r.Close()
 
 	var runs []*stream.File[T]
+	// fail releases every run already written (a concurrent pool consumer
+	// can starve a mid-pass allocation), so an aborted pass strands nothing.
+	fail := func(err error) ([]*stream.File[T], error) {
+		for _, run := range runs {
+			run.Release()
+		}
+		return nil, err
+	}
 	buf := make([]T, 0, memRecords)
 	flush := func() error {
 		if len(buf) == 0 {
@@ -193,10 +196,12 @@ func formRunsLoadSort[T any](f *stream.File[T], pool *pdm.Pool, less func(a, b T
 		for _, v := range buf {
 			if err := rw.Append(v); err != nil {
 				rw.Close()
+				run.Release()
 				return err
 			}
 		}
 		if err := rw.Close(); err != nil {
+			run.Release()
 			return err
 		}
 		runs = append(runs, run)
@@ -206,7 +211,7 @@ func formRunsLoadSort[T any](f *stream.File[T], pool *pdm.Pool, less func(a, b T
 	for {
 		v, ok, err := r.Next()
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		if !ok {
 			break
@@ -214,12 +219,12 @@ func formRunsLoadSort[T any](f *stream.File[T], pool *pdm.Pool, less func(a, b T
 		buf = append(buf, v)
 		if len(buf) == memRecords {
 			if err := flush(); err != nil {
-				return nil, err
+				return fail(err)
 			}
 		}
 	}
 	if err := flush(); err != nil {
-		return nil, err
+		return fail(err)
 	}
 	if len(runs) == 0 {
 		runs = append(runs, stream.NewFile[T](f.Vol(), f.Codec()))
@@ -283,23 +288,44 @@ func formRunsReplacement[T any](f *stream.File[T], pool *pdm.Pool, less func(a, 
 
 	var runs []*stream.File[T]
 	var cur *stream.File[T]
-	var cw sink[T]
+	var cw stream.Sink[T]
+	// fail closes the open run writer (returning its frames), abandons the
+	// partial run, and releases every completed run.
+	fail := func(err error) ([]*stream.File[T], error) {
+		if cw != nil {
+			cw.Close()
+		}
+		if cur != nil {
+			cur.Release()
+		}
+		for _, run := range runs {
+			run.Release()
+		}
+		return nil, err
+	}
 	curGen := 0
 	openRun := func() error {
 		cur = stream.NewFile[T](f.Vol(), f.Codec())
-		var err error
-		cw, err = openSink(cur, pool, opts)
-		return err
+		w, err := openSink(cur, pool, opts)
+		if err != nil {
+			cur.Release()
+			cur = nil
+			return err
+		}
+		cw = w
+		return nil
 	}
 	closeRun := func() error {
 		if cw == nil {
 			return nil
 		}
-		if err := cw.Close(); err != nil {
+		err := cw.Close()
+		cw = nil
+		if err != nil {
 			return err
 		}
 		runs = append(runs, cur)
-		cur, cw = nil, nil
+		cur = nil
 		return nil
 	}
 
@@ -307,21 +333,21 @@ func formRunsReplacement[T any](f *stream.File[T], pool *pdm.Pool, less func(a, 
 		it := h.Pop()
 		if cw == nil || it.gen != curGen {
 			if err := closeRun(); err != nil {
-				return nil, err
+				return fail(err)
 			}
 			curGen = it.gen
 			if err := openRun(); err != nil {
-				return nil, err
+				return fail(err)
 			}
 		}
 		if err := cw.Append(it.v); err != nil {
-			return nil, err
+			return fail(err)
 		}
 		// Refill from input: the incoming record joins the current run if it
 		// is not smaller than the record just emitted, else the next run.
 		nv, ok, err := r.Next()
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		if ok {
 			gen := curGen
@@ -332,7 +358,7 @@ func formRunsReplacement[T any](f *stream.File[T], pool *pdm.Pool, less func(a, 
 		}
 	}
 	if err := closeRun(); err != nil {
-		return nil, err
+		return fail(err)
 	}
 	if len(runs) == 0 {
 		runs = append(runs, stream.NewFile[T](f.Vol(), f.Codec()))
@@ -368,15 +394,24 @@ func maxFanIn(pool *pdm.Pool, opts *Options) int {
 // pending key of that run) is exactly the run's next sequential block, and
 // read-ahead fetches it before the merge blocks on it; the write-behind
 // output overlaps symmetrically. Counted I/Os are unchanged at equal fan-in.
+//
+// On error the input runs and every intermediate merged file are released,
+// so no blocks stay stranded on the volume.
 func MergeRuns[T any](runs []*stream.File[T], pool *pdm.Pool, less func(a, b T) bool, opts *Options) (*stream.File[T], error) {
 	if len(runs) == 0 {
 		return nil, errors.New("extsort: MergeRuns with no runs")
+	}
+	releaseAll := func(files []*stream.File[T]) {
+		for _, f := range files {
+			f.Release()
+		}
 	}
 	fanin := maxFanIn(pool, opts)
 	if opts != nil && opts.ForceFanIn > 0 && opts.ForceFanIn < fanin {
 		fanin = opts.ForceFanIn
 	}
 	if fanin < 2 {
+		releaseAll(runs)
 		return nil, fmt.Errorf("%w: fan-in %d", ErrEmptyPool, fanin)
 	}
 	level := runs
@@ -389,6 +424,11 @@ func MergeRuns[T any](runs []*stream.File[T], pool *pdm.Pool, less func(a, b T) 
 			}
 			merged, err := mergeOnce(level[lo:hi], pool, less, opts)
 			if err != nil {
+				// Release this level's finished intermediates and every
+				// unconsumed input; inputs already consumed by earlier
+				// groups re-release as no-ops.
+				releaseAll(next)
+				releaseAll(level)
 				return nil, err
 			}
 			for _, r := range level[lo:hi] {
@@ -422,7 +462,14 @@ func mergeOnce[T any](runs []*stream.File[T], pool *pdm.Pool, less func(a, b T) 
 	if err != nil {
 		return nil, err
 	}
-	readers := make([]source[T], len(runs))
+	// fail abandons the partially written output: frames back to the pool,
+	// blocks back to the volume.
+	fail := func(err error) (*stream.File[T], error) {
+		ow.Close()
+		out.Release()
+		return nil, err
+	}
+	readers := make([]stream.Source[T], len(runs))
 	defer func() {
 		for _, r := range readers {
 			if r != nil {
@@ -434,14 +481,12 @@ func mergeOnce[T any](runs []*stream.File[T], pool *pdm.Pool, less func(a, b T) 
 	for i, run := range runs {
 		r, err := openSource(run, pool, opts)
 		if err != nil {
-			ow.Close()
-			return nil, err
+			return fail(err)
 		}
 		readers[i] = r
 		v, ok, err := r.Next()
 		if err != nil {
-			ow.Close()
-			return nil, err
+			return fail(err)
 		}
 		if ok {
 			h.items = append(h.items, mergeItem[T]{v: v, src: i})
@@ -451,13 +496,11 @@ func mergeOnce[T any](runs []*stream.File[T], pool *pdm.Pool, less func(a, b T) 
 	for h.Len() > 0 {
 		it := h.Top()
 		if err := ow.Append(it.v); err != nil {
-			ow.Close()
-			return nil, err
+			return fail(err)
 		}
 		v, ok, err := readers[it.src].Next()
 		if err != nil {
-			ow.Close()
-			return nil, err
+			return fail(err)
 		}
 		if ok {
 			h.ReplaceTop(mergeItem[T]{v: v, src: it.src})
@@ -466,39 +509,47 @@ func mergeOnce[T any](runs []*stream.File[T], pool *pdm.Pool, less func(a, b T) 
 		}
 	}
 	if err := ow.Close(); err != nil {
+		out.Release()
 		return nil, err
 	}
 	return out, nil
 }
 
-// copyFile copies src into a fresh file.
+// copyFile copies src into a fresh file, abandoning the partial copy on
+// error.
 func copyFile[T any](src *stream.File[T], pool *pdm.Pool, opts *Options) (*stream.File[T], error) {
 	dst := stream.NewFile[T](src.Vol(), src.Codec())
 	w, err := openSink(dst, pool, opts)
 	if err != nil {
 		return nil, err
 	}
+	fail := func(err error) (*stream.File[T], error) {
+		w.Close()
+		dst.Release()
+		return nil, err
+	}
 	r, err := openSource(src, pool, opts)
 	if err != nil {
-		w.Close()
-		return nil, err
+		return fail(err)
 	}
 	defer r.Close()
 	for {
 		v, ok, err := r.Next()
 		if err != nil {
-			w.Close()
-			return nil, err
+			return fail(err)
 		}
 		if !ok {
 			break
 		}
 		if err := w.Append(v); err != nil {
-			w.Close()
-			return nil, err
+			return fail(err)
 		}
 	}
-	return dst, w.Close()
+	if err := w.Close(); err != nil {
+		dst.Release()
+		return nil, err
+	}
+	return dst, nil
 }
 
 // IsSorted scans f and reports whether it is ordered by less.

@@ -397,6 +397,15 @@ func (v *Volume) Free(addr int64) {
 	v.freeList = append(v.freeList, addr)
 }
 
+// FreeBlocks returns the number of freed block addresses awaiting reuse.
+// Allocated()-FreeBlocks() is the live-block count, which leak tests assert
+// is restored after an aborted operation.
+func (v *Volume) FreeBlocks() int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return int64(len(v.freeList))
+}
+
 // checkAddr validates a block address against the allocation high-water mark.
 func (v *Volume) checkAddr(addr int64) error {
 	v.mu.Lock()
@@ -502,17 +511,20 @@ func (v *Volume) batch(addrs []int64, bufs [][]byte, write bool) func() error {
 	if len(addrs) == 0 {
 		return errJoin(nil)
 	}
+	// Refuse closed volumes before any counter is charged or block moved,
+	// so an ErrClosed batch has no side effects at all — on zero-latency
+	// volumes too, where no worker queue exists to reject the I/O. With
+	// workers the read lock is held through dispatch so Close cannot shut
+	// the queues down between this check and the sends.
+	v.closeMu.RLock()
+	if v.closed {
+		v.closeMu.RUnlock()
+		return errJoin(ErrClosed)
+	}
 	if v.queues != nil {
-		// Refuse closed volumes before any counter is charged or block
-		// moved, so an ErrClosed batch has no side effects at all. The read
-		// lock is held through dispatch so Close cannot shut the queues
-		// down between this check and the sends.
-		v.closeMu.RLock()
-		if v.closed {
-			v.closeMu.RUnlock()
-			return errJoin(ErrClosed)
-		}
 		defer v.closeMu.RUnlock()
+	} else {
+		v.closeMu.RUnlock()
 	}
 	for i, a := range addrs {
 		if len(bufs[i]) != v.cfg.BlockBytes {

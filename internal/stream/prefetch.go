@@ -14,12 +14,26 @@
 // and both issue exactly the same BatchRead/BatchWrite calls as their
 // synchronous counterparts, so all I/O counters are identical — only the
 // wall-clock overlap changes.
+//
+// Consumers are written against the Source/Sink interfaces (see stream.go),
+// so every sequential pass in the sort/index stack — merge sort's run readers
+// and writers, distribution sort's splitter sampling and bucket writers, and
+// the B-tree bulk loader's input — can switch between the synchronous and
+// forecasting implementations with an option rather than a rewrite.
 package stream
 
 import (
 	"fmt"
 
 	"em/internal/pdm"
+)
+
+// The four stream implementations are interchangeable behind Source/Sink.
+var (
+	_ Source[int] = (*Reader[int])(nil)
+	_ Source[int] = (*PrefetchReader[int])(nil)
+	_ Sink[int]   = (*Writer[int])(nil)
+	_ Sink[int]   = (*AsyncWriter[int])(nil)
 )
 
 // PrefetchReader iterates a File's records in order like Reader, but always
@@ -260,16 +274,5 @@ func AsyncForEach[T any](f *File[T], pool *pdm.Pool, width int, fn func(T) error
 		return err
 	}
 	defer r.Close()
-	for {
-		v, ok, err := r.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			return nil
-		}
-		if err := fn(v); err != nil {
-			return err
-		}
-	}
+	return Drain[T](r, fn)
 }

@@ -23,6 +23,42 @@ import (
 // ErrClosed reports use of a closed reader or writer.
 var ErrClosed = errors.New("stream: closed")
 
+// Source is the record-producing side shared by synchronous (Reader) and
+// forecasting (PrefetchReader) readers, so algorithms can consume a stream
+// without knowing whether its next block group is fetched on demand or kept
+// in flight.
+type Source[T any] interface {
+	Next() (v T, ok bool, err error)
+	Close()
+}
+
+// Sink is the record-consuming side shared by synchronous (Writer) and
+// write-behind (AsyncWriter) writers.
+type Sink[T any] interface {
+	Append(v T) error
+	Close() error
+}
+
+// OpenSource opens a width-w reader over f: striped (fetch on demand) when
+// async is false, forecasting (next group kept in flight, 2×width frames)
+// when true. It is the single sync-vs-async dispatch point shared by the
+// sort and index layers.
+func OpenSource[T any](f *File[T], pool *pdm.Pool, width int, async bool) (Source[T], error) {
+	if async {
+		return NewPrefetchReader(f, pool, width)
+	}
+	return NewStripedReader(f, pool, width)
+}
+
+// OpenSink opens a width-w writer appending to f: striped when async is
+// false, write-behind when true.
+func OpenSink[T any](f *File[T], pool *pdm.Pool, width int, async bool) (Sink[T], error) {
+	if async {
+		return NewAsyncWriter(f, pool, width)
+	}
+	return NewStripedWriter(f, pool, width)
+}
+
 // File is a sequence of N records of type T stored in whole blocks on a
 // volume. The block list is catalog metadata (held in memory, as a real
 // system holds extent maps); record data lives only on the volume.
@@ -295,15 +331,11 @@ func (r *Reader[T]) Close() {
 	r.frames = nil
 }
 
-// ForEach streams every record of f through fn using a width-1 reader.
-func ForEach[T any](f *File[T], pool *pdm.Pool, fn func(T) error) error {
-	r, err := NewReader(f, pool)
-	if err != nil {
-		return err
-	}
-	defer r.Close()
+// Drain feeds every remaining record of src to fn, stopping on the first
+// error. It does not close src.
+func Drain[T any](src Source[T], fn func(T) error) error {
 	for {
-		v, ok, err := r.Next()
+		v, ok, err := src.Next()
 		if err != nil {
 			return err
 		}
@@ -314,6 +346,16 @@ func ForEach[T any](f *File[T], pool *pdm.Pool, fn func(T) error) error {
 			return err
 		}
 	}
+}
+
+// ForEach streams every record of f through fn using a width-1 reader.
+func ForEach[T any](f *File[T], pool *pdm.Pool, fn func(T) error) error {
+	r, err := NewReader(f, pool)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	return Drain[T](r, fn)
 }
 
 // FromSlice writes vs into a fresh file on vol, charging the usual write
