@@ -1,10 +1,12 @@
 # Developer and CI entry points. `make ci` is the gate every change must
 # pass: vet plus the full test suite under the race detector, so a dropped
 # lock in the concurrent I/O engine fails the build rather than a user.
+# The GitHub workflow (.github/workflows/ci.yml) runs lint + ci + cover on
+# every push/PR and bench-json as a non-gating trajectory job.
 
 GO ?= go
 
-.PHONY: all build vet test race bench ci
+.PHONY: all build vet lint test race cover bench bench-json ci
 
 all: ci
 
@@ -14,14 +16,33 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Lint is gofmt cleanliness plus vet; CI fails if either flags anything.
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+	$(GO) vet ./...
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
+# Coverage profile across every package, with a per-function summary.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
 # Engine and experiment benchmarks (wall-clock + counted I/Os).
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkVolumeBatchRead|BenchmarkAsync' -benchtime 3x .
+
+# Machine-readable benchmark trajectory: sync vs async sort/bulk-load at
+# D in {1,4}, wall-clock and counted I/Os, written to BENCH_PR3.json.
+# Committed once per PR so perf history accumulates as a diffable series.
+bench-json:
+	$(GO) run ./cmd/embench -json BENCH_PR3.json
+	@cat BENCH_PR3.json
 
 ci: build vet race

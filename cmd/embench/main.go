@@ -5,10 +5,12 @@
 //
 // Usage:
 //
-//	embench            # run everything
-//	embench T1 F4 ...  # run selected experiment ids
-//	embench -quick     # reduced sweeps (seconds instead of minutes)
-//	embench -list      # list experiment ids and claims
+//	embench                 # run everything
+//	embench T1 F4 ...       # run selected experiment ids
+//	embench -quick          # reduced sweeps (seconds instead of minutes)
+//	embench -list           # list experiment ids and claims
+//	embench -dir path       # file-backed volumes: disks are real files under path
+//	embench -json out.json  # emit the machine-readable benchmark trajectory
 //
 // Most numbers are counted block transfers on the instrumented Parallel
 // Disk Model — the survey's currency. Since the volume grew a concurrent
@@ -17,12 +19,28 @@
 // engine itself (elapsed ms falling ×D at constant block count, and
 // forecasting prefetch overlapping compute with I/O), and F10 extends the
 // forecasting comparison to distribution sort and B-tree bulk loading.
+//
+// With -dir every experiment volume maps its simulated disks to real files
+// under the given directory (one numbered subdirectory per volume), so the
+// full catalogue exercises actual storage with identical counted I/Os.
+//
+// With -json the catalogue is skipped; instead the benchmark trajectory —
+// sync vs async merge sort, distribution sort and B-tree bulk load at
+// D ∈ {1, 4}, wall-clock and counted I/Os — is written to the given file
+// (the repository commits these as BENCH_*.json, one per PR, so perf
+// regressions show up as a diffable series; `make bench-json` regenerates
+// the current one).
+//
+// Any experiment failure is reported on stderr and the remaining
+// experiments still run, but the process exits non-zero, so CI gates on it.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -158,8 +176,10 @@ var catalogue = []experiment{
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "reduced parameter sweeps")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		quick   = flag.Bool("quick", false, "reduced parameter sweeps")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		dir     = flag.String("dir", "", "file-backed volumes: store simulated disks as real files under this directory")
+		jsonOut = flag.String("json", "", "skip the catalogue; write the benchmark trajectory as JSON to this file")
 	)
 	flag.Parse()
 
@@ -169,28 +189,93 @@ func main() {
 		}
 		return
 	}
+	if *dir != "" {
+		experiments.SetVolumeDir(*dir)
+	}
+
+	if *jsonOut != "" {
+		if err := writeBenchJSON(*jsonOut, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, "embench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	want := map[string]bool{}
 	for _, a := range flag.Args() {
 		want[strings.ToUpper(a)] = true
 	}
-	ran := 0
+	ran, failed := 0, 0
 	for _, e := range catalogue {
 		if len(want) > 0 && !want[e.id] {
 			continue
 		}
+		ran++
 		start := time.Now()
-		tab, err := e.run(*quick)
+		tab, err := runExperiment(e, *quick)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "embench: %s: %v\n", e.id, err)
-			os.Exit(1)
+			// Report and keep going so one broken experiment doesn't hide
+			// the state of the rest, but fail the process at the end — CI
+			// gates on the exit code.
+			fmt.Fprintf(os.Stderr, "embench: %s: FAILED: %v\n", e.id, err)
+			failed++
+			continue
 		}
 		fmt.Print(tab.String())
 		fmt.Printf("   elapsed: %v\n\n", time.Since(start).Round(time.Millisecond))
-		ran++
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "embench: no experiment matched %v (try -list)\n", flag.Args())
 		os.Exit(1)
 	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "embench: %d of %d experiments failed\n", failed, ran)
+		os.Exit(1)
+	}
+}
+
+// runExperiment runs one experiment, converting a panic — experiments.NewEnv
+// panics when a volume cannot be created, e.g. -dir on an unwritable path —
+// into an error, so one broken experiment is reported like any other failure
+// instead of killing the rest of the catalogue.
+func runExperiment(e experiment, quick bool) (tab *experiments.Table, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return e.run(quick)
+}
+
+// benchFile is the on-disk shape of a BENCH_*.json trajectory file.
+type benchFile struct {
+	// Schema names the measurement set so future PRs with different
+	// trajectories stay distinguishable.
+	Schema string `json:"schema"`
+	Go     string `json:"go"`
+	OS     string `json:"os"`
+	Arch   string `json:"arch"`
+	Quick  bool   `json:"quick"`
+	// Results holds one point per (workload, mode, disks) coordinate.
+	Results []experiments.BenchResult `json:"results"`
+}
+
+// writeBenchJSON measures the benchmark trajectory and writes it to path.
+func writeBenchJSON(path string, quick bool) error {
+	results, err := experiments.BenchTrajectory(quick)
+	if err != nil {
+		return err
+	}
+	blob, err := json.MarshalIndent(benchFile{
+		Schema:  "em-bench-trajectory/v1",
+		Go:      runtime.Version(),
+		OS:      runtime.GOOS,
+		Arch:    runtime.GOARCH,
+		Quick:   quick,
+		Results: results,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o666)
 }

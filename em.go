@@ -47,6 +47,31 @@
 // their synchronous counterparts, so counted I/Os are unchanged at equal
 // fan-in (merge) or fan-out (distribution).
 //
+// # File-backed volumes
+//
+// Where a volume's blocks live is pluggable through the Backend seam: the
+// volume owns addressing, counters, service-time reservations and worker
+// scheduling, and delegates only the final one-block transfer. The default
+// backend simulates the disks in memory; setting Config.Dir (or calling
+// NewFileVolume) maps each of the D simulated disks to its own file under a
+// directory, so every algorithm in the module — including the asynchronous
+// sort and bulk-load paths — runs unchanged against real storage:
+//
+//	vol, err := em.NewFileVolume(em.Config{BlockBytes: 4096, MemBlocks: 64, Disks: 4}, "/data/pdm")
+//	defer vol.Close()
+//
+// Counters are charged before the backend is invoked, so Stats snapshots
+// are identical between the memory and file backends for the same workload
+// (a property the test suite pins down with quick-checks over the sorts and
+// the bulk loader); only the wall clock changes meaning. On Linux, backing
+// files are opened with O_DIRECT when BlockBytes is a multiple of 4 KiB and
+// the filesystem accepts the flag (tmpfs, for one, does not), so transfers
+// bypass the page cache and the measured times are the medium's; everywhere
+// else the backend transparently falls back to ordinary buffered I/O, which
+// preserves semantics but lets the OS cache absorb re-reads. File-backed
+// volumes should always be Closed; the per-disk files are left on disk for
+// inspection and are the caller's to delete.
+//
 // The subsystems exposed here are:
 //
 //   - external sorting: MergeSort, DistributionSort, SortViaBTree (baseline)
@@ -118,8 +143,23 @@ type Stats = pdm.Stats
 // Frame is one block-sized buffer on loan from a Pool.
 type Frame = pdm.Frame
 
-// NewVolume creates an empty volume with the given configuration.
+// Backend is the storage seam behind a Volume: the medium holding the D
+// simulated disks' blocks. The volume charges all counters itself, so Stats
+// are identical whichever backend serves the bytes. See the package
+// comment's file-backed volumes section.
+type Backend = pdm.Backend
+
+// NewVolume creates an empty volume with the given configuration. With
+// Config.Dir set the volume is file-backed (see NewFileVolume).
 func NewVolume(cfg Config) (*Volume, error) { return pdm.NewVolume(cfg) }
+
+// NewFileVolume creates a volume whose D simulated disks are real files —
+// one per disk — under dir, created if absent. It is shorthand for setting
+// cfg.Dir. Close the volume to close the files.
+func NewFileVolume(cfg Config, dir string) (*Volume, error) {
+	cfg.Dir = dir
+	return pdm.NewVolume(cfg)
+}
 
 // MustVolume is NewVolume for known-good configurations; it panics on error.
 func MustVolume(cfg Config) *Volume { return pdm.MustVolume(cfg) }

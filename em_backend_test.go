@@ -1,0 +1,203 @@
+package em_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"em"
+)
+
+// sortIndexWorkload drives the acceptance workload for the storage-backend
+// invariants — MergeSort, DistributionSort, and B-tree BulkLoad over the
+// same input — on one volume and returns the cumulative Stats snapshot.
+// Keys are a shuffled permutation of 1..n so the bulk load sees strictly
+// increasing keys once sorted.
+func sortIndexWorkload(t *testing.T, vol *em.Volume, seed int64, n int, async bool) em.Stats {
+	t.Helper()
+	pool := em.PoolFor(vol)
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]em.Record, n)
+	for i := range recs {
+		recs[i] = em.Record{Key: uint64(i + 1), Val: rng.Uint64()}
+	}
+	rng.Shuffle(n, func(i, j int) { recs[i], recs[j] = recs[j], recs[i] })
+
+	f, err := em.FromSlice(vol, pool, em.RecordCodec{}, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol.Stats().Reset()
+	opts := &em.SortOptions{Width: vol.Disks(), Async: async}
+	merged, err := em.SortRecords(f, pool, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := em.DistributionSort(f, pool, em.Record.Less, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist.Release()
+	tr, err := em.BulkLoadBTreeWith(vol, pool, 8, merged, &em.BulkLoadOptions{Width: vol.Disks(), Async: async})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != int64(n) {
+		t.Fatalf("bulk load lost records: %d != %d", tr.Len(), n)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if pool.InUse() != 0 {
+		t.Fatalf("frame leak: %d", pool.InUse())
+	}
+	return vol.Stats().Snapshot()
+}
+
+// TestQuickBackendCountersIdentical is the acceptance property of the
+// file-backed volume backend: for the same MergeSort + DistributionSort +
+// BulkLoad workload, the Stats snapshot — reads, writes, steps, and the
+// per-disk shards — is byte-identical between the memory backend and the
+// file backend, in both synchronous and forecasting (async) modes.
+func TestQuickBackendCountersIdentical(t *testing.T) {
+	prop := func(seedRaw uint32, nRaw uint16, disksRaw uint8, async bool) bool {
+		seed := int64(seedRaw)
+		n := 512 + int(nRaw)%2048
+		disks := 1 + int(disksRaw)%4
+		cfg := em.Config{BlockBytes: 256, MemBlocks: 96, Disks: disks}
+
+		memVol := em.MustVolume(cfg)
+		memStats := sortIndexWorkload(t, memVol, seed, n, async)
+		memVol.Close()
+
+		fileVol, err := em.NewFileVolume(cfg, t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fileStats := sortIndexWorkload(t, fileVol, seed, n, async)
+		if err := fileVol.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		if !reflect.DeepEqual(memStats, fileStats) {
+			t.Logf("seed=%d n=%d D=%d async=%v: mem %+v file %+v", seed, n, disks, async, memStats, fileStats)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAsyncMatchesSyncPerBackend re-runs the async==sync counter
+// property on each storage backend: at equal fan-out — forced below both
+// paths' natural budgets, with the async pool compensated by the 2×width
+// frames its double-buffered writer holds, exactly like the extsort suite —
+// the forecasting distribution sort and bulk load must charge the
+// synchronous paths' I/Os to the byte, whether the blocks live in memory or
+// in files.
+func TestQuickAsyncMatchesSyncPerBackend(t *testing.T) {
+	const width, fanOut, syncCap = 2, 3, 20
+	for _, backend := range []string{"mem", "file"} {
+		t.Run(backend, func(t *testing.T) {
+			prop := func(seedRaw uint32, nRaw uint16) bool {
+				seed := uint64(seedRaw)
+				n := 1 + int(nRaw)%1500
+				run := func(async bool) (distStats, bulkStats em.Stats) {
+					cfg := em.Config{BlockBytes: 256, MemBlocks: 24, Disks: 4}
+					if backend == "file" {
+						cfg.Dir = t.TempDir()
+					}
+					vol := em.MustVolume(cfg)
+					defer vol.Close()
+					capacity := syncCap
+					if async {
+						capacity += 2 * width
+					}
+					pool := em.NewPool(cfg.BlockBytes, capacity)
+					// Pairwise-distinct keys (odd multiplier is a bijection
+					// mod 2^64): no all-equal fallback in the distribution
+					// sort, strictly increasing keys for the bulk load.
+					vs := make([]em.Record, n)
+					for i := range vs {
+						vs[i] = em.Record{Key: (uint64(i) + seed) * 2654435761, Val: uint64(i)}
+					}
+					f, err := em.FromSlice(vol, pool, em.RecordCodec{}, vs)
+					if err != nil {
+						t.Fatal(err)
+					}
+					vol.Stats().Reset()
+					opts := &em.SortOptions{Width: width, ForceFanIn: fanOut, Async: async}
+					sorted, err := em.DistributionSort(f, pool, em.Record.Less, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					distStats = vol.Stats().Snapshot()
+
+					vol.Stats().Reset()
+					tr, err := em.BulkLoadBTreeWith(vol, pool, 8, sorted, &em.BulkLoadOptions{Width: width, Async: async})
+					if err != nil {
+						t.Fatal(err)
+					}
+					bulkStats = vol.Stats().Snapshot()
+					if tr.Len() != int64(n) {
+						t.Fatalf("bulk load lost records: %d != %d", tr.Len(), n)
+					}
+					if err := tr.Close(); err != nil {
+						t.Fatal(err)
+					}
+					if pool.InUse() != 0 {
+						t.Fatalf("async=%v: leaked %d frames", async, pool.InUse())
+					}
+					return distStats, bulkStats
+				}
+				syncDist, syncBulk := run(false)
+				asyncDist, asyncBulk := run(true)
+				if !reflect.DeepEqual(syncDist, asyncDist) {
+					t.Logf("seed=%d n=%d dist: sync %+v async %+v", seed, n, syncDist, asyncDist)
+					return false
+				}
+				if !reflect.DeepEqual(syncBulk, asyncBulk) {
+					t.Logf("seed=%d n=%d bulk: sync %+v async %+v", seed, n, syncBulk, asyncBulk)
+					return false
+				}
+				return true
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 6}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestFileVolumeEndToEnd exercises the facade constructor on a worker-engine
+// file volume: async sort and bulk load against real files, verified output.
+func TestFileVolumeEndToEnd(t *testing.T) {
+	vol, err := em.NewFileVolume(em.Config{BlockBytes: 256, MemBlocks: 64, Disks: 4}, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vol.Close()
+	pool := em.PoolFor(vol)
+	recs := randomRecords(rand.New(rand.NewSource(77)), 4000)
+	f, err := em.FromSlice(vol, pool, em.RecordCodec{}, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted, err := em.SortRecords(f, pool, &em.SortOptions{Width: 4, Async: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := em.IsSorted(sorted, pool, em.Record.Less)
+	if err != nil || !ok {
+		t.Fatalf("file-backed async sort output not sorted (err=%v)", err)
+	}
+	if sorted.Len() != int64(len(recs)) {
+		t.Fatalf("length changed: %d != %d", sorted.Len(), len(recs))
+	}
+	if pool.InUse() != 0 {
+		t.Fatalf("frame leak: %d", pool.InUse())
+	}
+}

@@ -26,6 +26,7 @@ func T3Permuting(ns []int) (*Table, error) {
 	}
 	for _, n := range ns {
 		e := DefaultEnv()
+		defer e.Close()
 		vals := make([]uint64, n)
 		for i := range vals {
 			vals[i] = uint64(i)
@@ -88,6 +89,7 @@ func T4Transpose(sizes []int) (*Table, error) {
 	}
 	for _, s := range sizes {
 		e := DefaultEnv()
+		defer e.Close()
 		data := make([]float64, s*s)
 		for i := range data {
 			data[i] = float64(i)
@@ -137,6 +139,7 @@ func T8DistributionSweep(ns []int) (*Table, error) {
 	}
 	for _, n := range ns {
 		e := NewEnv(1024, 12, 1)
+		defer e.Close()
 		rng := rand.New(rand.NewSource(43))
 		segs := make([]geometry.Segment, 0, n)
 		span := 4 * float64(n)
@@ -197,6 +200,7 @@ func F4ListRanking(ns []int) (*Table, error) {
 		// node regardless of B, while contraction's cost is ∝ 1/B, so the
 		// survey's claim concerns realistic (large) block sizes.
 		e := NewEnv(4096, 16, 1)
+		defer e.Close()
 		list, head, err := randomList(e, 47, n)
 		if err != nil {
 			return nil, err
@@ -266,6 +270,7 @@ func F5ExternalBFS(vs []int) (*Table, error) {
 	}
 	for _, v := range vs {
 		e := NewEnv(1024, 16, 1)
+		defer e.Close()
 		rng := rand.New(rand.NewSource(53))
 		var pairs []record.Pair
 		for i := 0; i < v; i++ {

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"em/internal/btree"
+	"em/internal/extsort"
+	"em/internal/pdm"
+	"em/internal/record"
+	"em/internal/stream"
+)
+
+// BenchResult is one machine-readable benchmark point of the repository's
+// performance trajectory: a workload in one I/O mode at one disk count,
+// with both currencies — wall-clock milliseconds and counted block I/Os.
+// cmd/embench -json emits a slice of these (BENCH_*.json); future PRs
+// compare their own trajectory files against the committed ones.
+type BenchResult struct {
+	Workload string  `json:"workload"` // mergesort | distsort | bulkload
+	Mode     string  `json:"mode"`     // sync | async
+	Disks    int     `json:"disks"`
+	Records  int     `json:"records"`
+	WallMs   float64 `json:"wallMs"`
+	Reads    uint64  `json:"reads"`
+	Writes   uint64  `json:"writes"`
+	Steps    uint64  `json:"steps"`
+}
+
+// BenchTrajectory measures the repository's headline perf surface: merge
+// sort, distribution sort and B-tree bulk load, synchronous vs
+// forecast-driven asynchronous, at D ∈ {1, 4}, on a worker-engine volume
+// with a fixed per-block service latency (so wall clock reflects the
+// model's parallel-step cost, not host noise). Counted I/Os come from the
+// same Stats every experiment table reports, reset per workload.
+func BenchTrajectory(quick bool) ([]BenchResult, error) {
+	n, latency := 1<<13, 2*time.Millisecond
+	if quick {
+		n, latency = 1<<11, 250*time.Microsecond
+	}
+	var out []BenchResult
+	for _, d := range []int{1, 4} {
+		for _, async := range []bool{false, true} {
+			rs, err := benchPoint(n, d, async, latency)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, rs...)
+		}
+	}
+	return out, nil
+}
+
+// benchPoint runs the three workloads at one (disks, mode) coordinate,
+// owning its volume for exactly its scope.
+func benchPoint(n, d int, async bool, latency time.Duration) ([]BenchResult, error) {
+	// MemBlocks matches F10: sized so the async paths' halved fan-out keeps
+	// the same pass count as sync across the D sweep.
+	cfg := pdm.Config{BlockBytes: 1024, MemBlocks: 96, Disks: d, DiskLatency: latency}
+	vol, err := newVolume(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer vol.Close()
+	pool := pdm.PoolFor(vol)
+	mode := "sync"
+	if async {
+		mode = "async"
+	}
+	opts := &extsort.Options{Width: d, Async: async}
+
+	var out []BenchResult
+	measure := func(workload string, fn func() error) error {
+		vol.Stats().Reset()
+		start := time.Now()
+		if err := fn(); err != nil {
+			return fmt.Errorf("%s %s D=%d: %w", workload, mode, d, err)
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		s := vol.Stats().Snapshot()
+		out = append(out, BenchResult{
+			Workload: workload, Mode: mode, Disks: d, Records: n,
+			WallMs: ms, Reads: s.Reads, Writes: s.Writes, Steps: s.Steps,
+		})
+		return nil
+	}
+
+	f, err := stream.FromSlice(vol, pool, record.RecordCodec{}, RandomRecords(41, n))
+	if err != nil {
+		return nil, err
+	}
+	if err := measure("mergesort", func() error {
+		sorted, err := extsort.MergeSort(f, pool, record.Record.Less, opts)
+		if err != nil {
+			return err
+		}
+		sorted.Release()
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := measure("distsort", func() error {
+		sorted, err := extsort.DistributionSort(f, pool, record.Record.Less, opts)
+		if err != nil {
+			return err
+		}
+		sorted.Release()
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	sorted := make([]record.Record, n)
+	for i := range sorted {
+		sorted[i] = record.Record{Key: uint64(i + 1), Val: uint64(i)}
+	}
+	sf, err := stream.FromSlice(vol, pool, record.RecordCodec{}, sorted)
+	if err != nil {
+		return nil, err
+	}
+	if err := measure("bulkload", func() error {
+		tr, err := btree.BulkLoad(vol, pool, 8, sf, &btree.BulkLoadOptions{Width: d, Async: async})
+		if err != nil {
+			return err
+		}
+		return tr.Close()
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

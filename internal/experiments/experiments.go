@@ -13,11 +13,37 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"path/filepath"
+	"sync/atomic"
 
 	"em/internal/pdm"
 	"em/internal/record"
 	"em/internal/stream"
 )
+
+// volumeDir, when non-empty, routes every experiment volume to file-backed
+// storage. Each volume gets its own numbered subdirectory so parameter
+// sweeps never collide on backing files.
+var (
+	volumeDir atomic.Value // string
+	volumeSeq atomic.Int64
+)
+
+// SetVolumeDir makes every subsequently created experiment volume
+// file-backed, one fresh subdirectory per volume under dir; the empty
+// string restores the in-memory simulation. The I/O counts every experiment
+// reports are identical either way — only the medium under the wall-clock
+// columns changes. cmd/embench wires this to its -dir flag so the full
+// catalogue (T1–T9, F1–F10) runs against real files with a flag flip.
+func SetVolumeDir(dir string) { volumeDir.Store(dir) }
+
+// newVolume creates one experiment volume honouring SetVolumeDir.
+func newVolume(cfg pdm.Config) (*pdm.Volume, error) {
+	if dir, _ := volumeDir.Load().(string); dir != "" {
+		cfg.Dir = filepath.Join(dir, fmt.Sprintf("vol%04d", volumeSeq.Add(1)))
+	}
+	return pdm.NewVolume(cfg)
+}
 
 // Row is one line of an experiment table: a parameter point with measured
 // and predicted quantities per algorithm.
@@ -80,11 +106,20 @@ type Env struct {
 }
 
 // NewEnv creates a standard experiment environment: blockBytes-byte blocks,
-// memBlocks frames of memory, and disks disks.
+// memBlocks frames of memory, and disks disks, on whichever storage backend
+// SetVolumeDir selected.
 func NewEnv(blockBytes, memBlocks, disks int) Env {
-	vol := pdm.MustVolume(pdm.Config{BlockBytes: blockBytes, MemBlocks: memBlocks, Disks: disks})
+	vol, err := newVolume(pdm.Config{BlockBytes: blockBytes, MemBlocks: memBlocks, Disks: disks})
+	if err != nil {
+		panic(err)
+	}
 	return Env{Vol: vol, Pool: pdm.PoolFor(vol)}
 }
+
+// Close releases the environment's volume: a no-op for the in-memory
+// simulation, the handle-closing step for file-backed runs (SetVolumeDir),
+// where an unclosed Env would leak D file descriptors per experiment point.
+func (e Env) Close() error { return e.Vol.Close() }
 
 // DefaultEnv is the baseline device shape used across experiments:
 // 1 KiB blocks (64 records of 16 bytes), 16 frames of memory, one disk.

@@ -19,6 +19,7 @@ func F7FFT(ns []int) (*Table, error) {
 	}
 	for _, n := range ns {
 		e := NewEnv(1024, 16, 1)
+		defer e.Close()
 		rng := rand.New(rand.NewSource(73))
 		x := make([]fft.Complex, n)
 		for i := range x {

@@ -47,7 +47,7 @@ func forecastPoint(n, d int, latency time.Duration) (*Row, error) {
 	// with a too-small M the async run pays extra passes (its fan-out is
 	// half), which is the documented trade, not the overlap under test.
 	cfg := pdm.Config{BlockBytes: 1024, MemBlocks: 96, Disks: d, DiskLatency: latency}
-	vol, err := pdm.NewVolume(cfg)
+	vol, err := newVolume(cfg)
 	if err != nil {
 		return nil, err
 	}

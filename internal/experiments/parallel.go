@@ -39,7 +39,7 @@ func F9ParallelEngine(n int, disks []int, latency time.Duration) (*Table, error)
 // volume (and each reader's frames) for exactly its scope.
 func enginePoint(n, d int, latency time.Duration) (*Row, error) {
 	cfg := pdm.Config{BlockBytes: 1024, MemBlocks: 32, Disks: d, DiskLatency: latency}
-	vol, err := pdm.NewVolume(cfg)
+	vol, err := newVolume(cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -66,6 +66,7 @@ func T5OnlineSearch(n, lookups int) (*Table, error) {
 		Notes: "reads/lookup ordered binary > btree > hash; btree ≈ its height",
 	}
 	e := NewEnv(1024, 64, 1)
+	defer e.Close()
 	rs := RandomRecords(23, n)
 	f, err := MaterialiseRecords(e, rs)
 	if err != nil {
@@ -158,6 +159,7 @@ func T6BufferTreeVsBTree(ns []int) (*Table, error) {
 	}
 	for _, n := range ns {
 		e := NewEnv(1024, 32, 1)
+		defer e.Close()
 		rng := rand.New(rand.NewSource(31))
 		keys := rng.Perm(n)
 
@@ -222,6 +224,7 @@ func T7PriorityQueue(ns []int) (*Table, error) {
 	}
 	for _, n := range ns {
 		e := NewEnv(1024, 32, 1)
+		defer e.Close()
 		rng := rand.New(rand.NewSource(37))
 		keys := make([]uint64, n)
 		for i := range keys {
@@ -303,6 +306,7 @@ func T9BulkLoad(ns []int) (*Table, error) {
 	}
 	for _, n := range ns {
 		e := NewEnv(1024, 32, 1)
+		defer e.Close()
 		rs := RandomRecords(41, n)
 		f, err := MaterialiseRecords(e, rs)
 		if err != nil {

@@ -23,6 +23,7 @@ func T1FundamentalBounds(ns []int) (*Table, error) {
 	}
 	for _, n := range ns {
 		e := DefaultEnv()
+		defer e.Close()
 		per := e.Vol.BlockBytes() / (record.RecordCodec{}).Size()
 		f, err := MaterialiseRecords(e, RandomRecords(42, n))
 		if err != nil {
@@ -84,6 +85,7 @@ func T2SortingAlgorithms(ns []int) (*Table, error) {
 	}
 	for _, n := range ns {
 		e := DefaultEnv()
+		defer e.Close()
 		rs := RandomRecords(7, n)
 
 		f, err := MaterialiseRecords(e, rs)
@@ -141,6 +143,7 @@ func F1MergePassesVsMemory(n int, fanins []int) (*Table, error) {
 	}
 	for _, fanin := range fanins {
 		e := NewEnv(1024, 512, 1) // merge memory is ample; ForceFanIn is the knob
+		defer e.Close()
 		rs := RandomRecords(3, n)
 		f, err := MaterialiseRecords(e, rs)
 		if err != nil {
@@ -205,6 +208,7 @@ func F2RunFormation(n int) (*Table, error) {
 	}
 	for _, v := range variants {
 		e := DefaultEnv()
+		defer e.Close()
 		f, err := MaterialiseRecords(e, v.data)
 		if err != nil {
 			return nil, err
@@ -246,6 +250,7 @@ func F3DiskStriping(n int, disks []int) (*Table, error) {
 	}
 	for _, d := range disks {
 		e := NewEnv(1024, 32, d)
+		defer e.Close()
 		rs := RandomRecords(11, n)
 		f, err := MaterialiseRecords(e, rs)
 		if err != nil {

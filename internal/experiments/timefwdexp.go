@@ -27,6 +27,7 @@ func F8TimeForward(vs []int) (*Table, error) {
 	}
 	for _, v := range vs {
 		e := NewEnv(4096, 16, 1)
+		defer e.Close()
 		rng := rand.New(rand.NewSource(79))
 		// Sparse layered DAG: each vertex receives ~4 arcs from earlier ones.
 		var pairs []record.Pair

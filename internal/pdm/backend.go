@@ -1,0 +1,60 @@
+package pdm
+
+// Backend stores the block contents of the D simulated disks behind a
+// Volume. It is the seam between the model's accounting — addresses,
+// counters, service-time reservations, per-disk queues, all owned by
+// Volume — and the medium actually holding the bytes. Two implementations
+// ship with the package: the in-memory simulation (the default) and the
+// file-backed store selected by Config.Dir, which maps each disk to its own
+// file so the same algorithms drive real hardware with identical counted
+// I/Os; every counter is charged by Volume before the backend is invoked,
+// so Stats cannot differ across backends by construction.
+//
+// Volume serialises Service calls per disk (each simulated disk's lock is
+// held around its transfers), so implementations need no internal locking
+// for per-disk state; Service calls for distinct disks run concurrently.
+type Backend interface {
+	// Service performs one block transfer on the given disk: buf, exactly
+	// one block long, is written to or read from the disk's slot (the
+	// disk-local block index; byte position slot×BlockBytes on a physical
+	// medium). Reading a slot that was never written must fill buf with
+	// zeros, mirroring a freshly formatted disk region.
+	Service(disk int, slot int64, buf []byte, write bool) error
+	// Close releases the backend's resources. Volume.Close calls it exactly
+	// once, after all workers have drained and no Service call is in flight.
+	Close() error
+}
+
+// memBackend is the in-memory simulation: one growable slice of blocks per
+// disk. Blocks materialise on first write; its transfers cannot fail.
+type memBackend struct {
+	blockBytes int
+	disks      [][][]byte // [disk][slot] -> block, nil until first write
+}
+
+func newMemBackend(disks, blockBytes int) *memBackend {
+	return &memBackend{blockBytes: blockBytes, disks: make([][][]byte, disks)}
+}
+
+func (m *memBackend) Service(disk int, slot int64, buf []byte, write bool) error {
+	blocks := m.disks[disk]
+	if write {
+		for int64(len(blocks)) <= slot {
+			blocks = append(blocks, nil)
+		}
+		if blocks[slot] == nil {
+			blocks[slot] = make([]byte, m.blockBytes)
+		}
+		copy(blocks[slot], buf)
+		m.disks[disk] = blocks
+		return nil
+	}
+	if slot < int64(len(blocks)) && blocks[slot] != nil {
+		copy(buf, blocks[slot])
+	} else {
+		clear(buf)
+	}
+	return nil
+}
+
+func (m *memBackend) Close() error { return nil }

@@ -1,0 +1,120 @@
+package pdm
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"unsafe"
+)
+
+// fileBackend maps each simulated disk to its own file under a
+// caller-supplied directory: disk d's slot s occupies bytes
+// [s·BlockBytes, (s+1)·BlockBytes) of dir/diskDDD.dat. Where the platform
+// and filesystem allow — Linux, block size a multiple of 4 KiB, and a
+// filesystem that accepts the flag — files are opened with O_DIRECT so
+// transfers bypass the page cache and reach the medium; everywhere else the
+// backend transparently falls back to ordinary buffered I/O, which keeps
+// the counters and semantics identical and only changes what the wall clock
+// measures. O_DIRECT requires aligned user buffers, so each disk under
+// direct I/O stages transfers through one 4 KiB-aligned bounce buffer —
+// safe because the Volume serialises Service calls per disk.
+//
+// Backing files are created — truncated if a previous run left them behind,
+// since a fresh volume's never-written slots must read as zeros — at volume
+// construction and grow sparsely as high slots are written; a read of a
+// slot beyond the data written so far yields zeros, exactly like the
+// in-memory simulation. The backend never fsyncs: the model
+// measures transfer scheduling, not durability. Close closes the files but
+// leaves them on disk for inspection; callers who want cleanup own the
+// directory (tests use t.TempDir()).
+type fileBackend struct {
+	blockBytes int
+	files      []*os.File
+	direct     []bool
+	bounce     [][]byte // per-disk aligned staging buffer; nil unless direct
+}
+
+// directAlign is the alignment direct-I/O transfers are staged at: 4 KiB
+// satisfies the logical block size of every mainstream filesystem.
+const directAlign = 4096
+
+func newFileBackend(dir string, disks, blockBytes int) (*fileBackend, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("pdm: file backend: %w", err)
+	}
+	fb := &fileBackend{
+		blockBytes: blockBytes,
+		files:      make([]*os.File, disks),
+		direct:     make([]bool, disks),
+		bounce:     make([][]byte, disks),
+	}
+	for d := range fb.files {
+		path := filepath.Join(dir, fmt.Sprintf("disk%03d.dat", d))
+		f, direct, err := openDiskFile(path, blockBytes)
+		if err != nil {
+			fb.Close()
+			return nil, fmt.Errorf("pdm: file backend: %w", err)
+		}
+		fb.files[d] = f
+		fb.direct[d] = direct
+		if direct {
+			fb.bounce[d] = alignedBlock(blockBytes)
+		}
+	}
+	return fb, nil
+}
+
+// alignedBlock returns a blockBytes-long slice whose base address is
+// directAlign-aligned, carved out of a slightly larger allocation.
+func alignedBlock(blockBytes int) []byte {
+	raw := make([]byte, blockBytes+directAlign)
+	off := 0
+	if rem := int(uintptr(unsafe.Pointer(&raw[0])) % directAlign); rem != 0 {
+		off = directAlign - rem
+	}
+	return raw[off : off+blockBytes : off+blockBytes]
+}
+
+func (fb *fileBackend) Service(disk int, slot int64, buf []byte, write bool) error {
+	f := fb.files[disk]
+	off := slot * int64(fb.blockBytes)
+	tr := buf
+	if fb.direct[disk] {
+		tr = fb.bounce[disk]
+	}
+	if write {
+		if fb.direct[disk] {
+			copy(tr, buf)
+		}
+		if _, err := f.WriteAt(tr, off); err != nil {
+			return fmt.Errorf("pdm: disk %d write slot %d: %w", disk, slot, err)
+		}
+		return nil
+	}
+	n, err := f.ReadAt(tr, off)
+	if err != nil && err != io.EOF {
+		return fmt.Errorf("pdm: disk %d read slot %d: %w", disk, slot, err)
+	}
+	// A slot past the bytes written so far reads as a zero block, mirroring
+	// the simulation's freshly formatted regions. Whole blocks are always
+	// written, so a short read can only mean end of file.
+	clear(tr[n:])
+	if fb.direct[disk] {
+		copy(buf, tr)
+	}
+	return nil
+}
+
+func (fb *fileBackend) Close() error {
+	var first error
+	for _, f := range fb.files {
+		if f == nil {
+			continue
+		}
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -11,13 +11,16 @@ import (
 // TestConcurrentSingleBlockIO hammers a shared volume with parallel readers
 // and writers on disjoint address ranges; under -race it fails if the engine
 // drops a lock. Each goroutine owns a contiguous address range, so data
-// verification is exact.
+// verification is exact. It runs against both storage backends.
 func TestConcurrentSingleBlockIO(t *testing.T) {
+	forEachBackend(t, Config{BlockBytes: 32, MemBlocks: 4, Disks: 3}, testConcurrentSingleBlockIO)
+}
+
+func testConcurrentSingleBlockIO(t *testing.T, v *Volume) {
 	const (
 		workers   = 8
 		perWorker = 64
 	)
-	v := MustVolume(Config{BlockBytes: 32, MemBlocks: 4, Disks: 3})
 	base := v.Alloc(workers * perWorker)
 	var wg sync.WaitGroup
 	errs := make(chan error, workers)
@@ -67,15 +70,18 @@ func TestConcurrentSingleBlockIO(t *testing.T) {
 
 // TestConcurrentBatchIO runs parallel batched writers and readers through
 // the per-disk worker engine (non-zero latency) and checks both data and
-// counter integrity.
+// counter integrity, against both storage backends.
 func TestConcurrentBatchIO(t *testing.T) {
+	cfg := Config{BlockBytes: 16, MemBlocks: 8, Disks: 4, DiskLatency: 20 * time.Microsecond}
+	forEachBackend(t, cfg, testConcurrentBatchIO)
+}
+
+func testConcurrentBatchIO(t *testing.T, v *Volume) {
 	const (
 		workers = 4
 		batches = 8
 		batchSz = 6
 	)
-	v := MustVolume(Config{BlockBytes: 16, MemBlocks: 8, Disks: 4, DiskLatency: 20 * time.Microsecond})
-	defer v.Close()
 	base := v.Alloc(workers * batches * batchSz)
 	var wg sync.WaitGroup
 	errs := make(chan error, workers)
@@ -227,10 +233,18 @@ func TestCloseIdempotentAndRejectsIO(t *testing.T) {
 	if err := v.BatchRead(addrs, bufs); err != ErrClosed {
 		t.Fatalf("batch after close: got %v, want ErrClosed", err)
 	}
-	// A refused batch must not charge any counter: no phantom I/O.
+	// Single-block I/O is refused too — the backend may hold real file
+	// handles that Close released.
+	if err := v.ReadBlock(addrs[0], bufs[0]); err != ErrClosed {
+		t.Fatalf("read after close: got %v, want ErrClosed", err)
+	}
+	if err := v.WriteBlock(addrs[0], bufs[0]); err != ErrClosed {
+		t.Fatalf("write after close: got %v, want ErrClosed", err)
+	}
+	// Refused I/O must not charge any counter: no phantom transfers.
 	after := v.Stats().Snapshot()
-	if after.Reads != before.Reads || after.Steps != before.Steps {
-		t.Fatalf("closed batch charged counters: before %+v after %+v", before, after)
+	if after.Reads != before.Reads || after.Writes != before.Writes || after.Steps != before.Steps {
+		t.Fatalf("closed I/O charged counters: before %+v after %+v", before, after)
 	}
 	// Zero-latency volumes never start workers; Close must still be safe.
 	v2 := MustVolume(Config{BlockBytes: 8, MemBlocks: 4, Disks: 2})
@@ -297,8 +311,8 @@ func TestDiskLatencyParallelSpeedup(t *testing.T) {
 }
 
 // TestLatencyStatsMatchSerial asserts the counted model is unchanged by the
-// worker engine: the same workload on latency and no-latency volumes yields
-// identical Stats.
+// worker engine or the storage backend: the same workload on latency and
+// no-latency volumes, memory- and file-backed, yields identical Stats.
 func TestLatencyStatsMatchSerial(t *testing.T) {
 	run := func(cfg Config) Stats {
 		v := MustVolume(cfg)
@@ -326,13 +340,20 @@ func TestLatencyStatsMatchSerial(t *testing.T) {
 		return v.Stats().Snapshot()
 	}
 	serial := run(Config{BlockBytes: 32, MemBlocks: 8, Disks: 4})
-	engine := run(Config{BlockBytes: 32, MemBlocks: 8, Disks: 4, DiskLatency: 10 * time.Microsecond})
-	if serial.Reads != engine.Reads || serial.Writes != engine.Writes || serial.Steps != engine.Steps {
-		t.Fatalf("stats diverge: serial %+v engine %+v", serial, engine)
+	variants := map[string]Config{
+		"engine":      {BlockBytes: 32, MemBlocks: 8, Disks: 4, DiskLatency: 10 * time.Microsecond},
+		"file":        {BlockBytes: 32, MemBlocks: 8, Disks: 4, Dir: t.TempDir()},
+		"file+engine": {BlockBytes: 32, MemBlocks: 8, Disks: 4, DiskLatency: 10 * time.Microsecond, Dir: t.TempDir()},
 	}
-	for i := range serial.PerDiskReads {
-		if serial.PerDiskReads[i] != engine.PerDiskReads[i] || serial.PerDiskWrites[i] != engine.PerDiskWrites[i] {
-			t.Fatalf("per-disk stats diverge on disk %d", i)
+	for name, cfg := range variants {
+		got := run(cfg)
+		if serial.Reads != got.Reads || serial.Writes != got.Writes || serial.Steps != got.Steps {
+			t.Fatalf("%s stats diverge: serial %+v got %+v", name, serial, got)
+		}
+		for i := range serial.PerDiskReads {
+			if serial.PerDiskReads[i] != got.PerDiskReads[i] || serial.PerDiskWrites[i] != got.PerDiskWrites[i] {
+				t.Fatalf("%s per-disk stats diverge on disk %d", name, i)
+			}
 		}
 	}
 }

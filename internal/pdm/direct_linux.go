@@ -1,0 +1,25 @@
+//go:build linux
+
+package pdm
+
+import (
+	"os"
+	"syscall"
+)
+
+// openDiskFile opens the backing file for one simulated disk — creating it
+// if absent, truncating any previous contents so a fresh volume's
+// never-written slots read as zeros — attempting O_DIRECT when the block
+// size permits aligned transfers. Filesystems that refuse the flag — tmpfs,
+// some overlay and network filesystems — fall back to buffered I/O
+// transparently, so the reported bool, not the platform, says whether
+// transfers bypass the page cache.
+func openDiskFile(path string, blockBytes int) (*os.File, bool, error) {
+	if blockBytes%directAlign == 0 {
+		if f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC|syscall.O_DIRECT, 0o666); err == nil {
+			return f, true, nil
+		}
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o666)
+	return f, false, err
+}

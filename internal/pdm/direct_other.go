@@ -1,0 +1,16 @@
+//go:build !linux
+
+package pdm
+
+import "os"
+
+// openDiskFile opens the backing file for one simulated disk — creating it
+// if absent, truncating any previous contents so a fresh volume's
+// never-written slots read as zeros. Direct I/O is Linux-only in this
+// package (macOS's F_NOCACHE and Windows' FILE_FLAG_NO_BUFFERING are not
+// wired up), so every other platform uses ordinary buffered I/O — the
+// portable fallback the file backend documents.
+func openDiskFile(path string, _ int) (*os.File, bool, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o666)
+	return f, false, err
+}

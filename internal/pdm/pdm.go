@@ -52,6 +52,19 @@
 // fields mid-flight. Reset and Snapshot are always safe to call concurrently
 // with I/O.
 //
+// # Storage backends
+//
+// Where the bytes of each simulated disk actually live is pluggable through
+// the Backend interface, carved out of the per-disk service seam: the
+// Volume owns addressing, counters, reservations and worker scheduling, and
+// delegates only the final one-block transfer. The default backend is the
+// in-memory simulation; setting Config.Dir selects the file-backed store,
+// which maps each of the D disks to its own file (O_DIRECT on Linux where
+// the block size and filesystem allow, buffered I/O otherwise) so the same
+// algorithms exercise real hardware. Counters are charged before the
+// backend is invoked, so Stats are identical across backends for the same
+// workload — the sim==file invariant the backend tests pin down.
+//
 // Memory is modelled by Pool, which hands out at most M/B block-sized frames
 // and refuses further allocation, so an algorithm that exceeds its stated
 // memory bound fails its tests rather than silently borrowing RAM. Pool is
@@ -99,6 +112,12 @@ type Config struct {
 	// parallel-step cost, so striping speedups show up on a stopwatch; such
 	// volumes should be Closed when done.
 	DiskLatency time.Duration
+	// Dir, when non-empty, stores the disks' blocks in real files — one per
+	// simulated disk — under this directory (created if absent) instead of
+	// in memory. See the package comment's storage-backend section; all
+	// counters and semantics are identical, only the medium changes. Close
+	// the volume to close the files; the files themselves are left behind.
+	Dir string
 }
 
 // Validate reports whether the configuration is usable.
@@ -198,27 +217,51 @@ func (s *Stats) addWrite(d int) {
 // addSteps charges n parallel steps.
 func (s *Stats) addSteps(n uint64) { atomic.AddUint64(&s.Steps, n) }
 
-// disk is one simulated disk: a growable array of blocks, the lock that
-// serialises access to them, and the service-time reservation horizon.
-// Service time is modelled as a per-disk timeline: every transfer reserves
-// DiskLatency on its disk at dispatch time, so a disk's k-th queued block
-// completes k·DiskLatency after the disk went busy regardless of when the
-// worker goroutine is actually scheduled — which keeps overlap measurements
-// honest even on a single-CPU host.
+// disk is one simulated disk's scheduling state: the lock that serialises
+// its transfers (the backend holds the actual blocks) and the service-time
+// reservation horizon. Service time is modelled as a per-disk timeline:
+// every transfer reserves DiskLatency on its disk at dispatch time, so a
+// disk's k-th queued block completes k·DiskLatency after the disk went busy
+// regardless of when the worker goroutine is actually scheduled — which
+// keeps overlap measurements honest even on a single-CPU host.
 type disk struct {
 	mu        sync.Mutex
-	blocks    [][]byte
 	busyUntil time.Time // reservation horizon; meaningful only with latency
 }
 
+// batchErr collects the first transfer error of a batch across the per-disk
+// workers servicing it; the batch's join returns it.
+type batchErr struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (b *batchErr) record(err error) {
+	if err == nil {
+		return
+	}
+	b.mu.Lock()
+	if b.err == nil {
+		b.err = err
+	}
+	b.mu.Unlock()
+}
+
+func (b *batchErr) first() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.err
+}
+
 // diskJob is one per-disk slice of a batch: the blocks a single disk must
-// service, the deadline its reservation runs to, and the join point the
-// dispatcher waits on.
+// service, the deadline its reservation runs to, the batch's shared error
+// collector, and the join point the dispatcher waits on.
 type diskJob struct {
 	write    bool
 	slots    []int64
 	bufs     [][]byte
 	deadline time.Time
+	errs     *batchErr
 	wg       *sync.WaitGroup
 }
 
@@ -229,9 +272,10 @@ type diskJob struct {
 // Volume is safe for concurrent use; see the package comment for the
 // concurrency model and the wall-clock semantics of Config.DiskLatency.
 type Volume struct {
-	cfg   Config
-	disks []disk
-	stats Stats
+	cfg     Config
+	disks   []disk
+	backend Backend
+	stats   Stats
 
 	mu       sync.Mutex // guards next and freeList
 	next     int64      // next unallocated block address
@@ -240,18 +284,29 @@ type Volume struct {
 	queues    []chan diskJob // per-disk request queues; nil when DiskLatency == 0
 	workerWG  sync.WaitGroup
 	closeOnce sync.Once
+	closeErr  error
 	closeMu   sync.RWMutex // dispatchers hold R, Close holds W
 	closed    bool         // guarded by closeMu
 }
 
 // NewVolume creates an empty volume with the given configuration. When
 // cfg.DiskLatency is non-zero the volume starts one worker goroutine per
-// disk; call Close to stop them.
+// disk; when cfg.Dir is non-empty the blocks live in one file per disk
+// under that directory. Call Close to stop the workers and close the files.
 func NewVolume(cfg Config) (*Volume, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	v := &Volume{cfg: cfg, disks: make([]disk, cfg.Disks)}
+	if cfg.Dir != "" {
+		fb, err := newFileBackend(cfg.Dir, cfg.Disks, cfg.BlockBytes)
+		if err != nil {
+			return nil, err
+		}
+		v.backend = fb
+	} else {
+		v.backend = newMemBackend(cfg.Disks, cfg.BlockBytes)
+	}
 	v.stats.PerDiskReads = make([]uint64, cfg.Disks)
 	v.stats.PerDiskWrites = make([]uint64, cfg.Disks)
 	if cfg.DiskLatency > 0 {
@@ -274,10 +329,14 @@ func MustVolume(cfg Config) *Volume {
 	return v
 }
 
-// Close stops the per-disk workers, if any. It is idempotent and safe to
-// call on volumes that never started workers. I/O after Close returns
-// ErrClosed on the batched paths.
-func (v *Volume) Close() {
+// Close stops the per-disk workers, if any, then closes the storage
+// backend (a no-op for the in-memory simulation; the file backend closes
+// its per-disk files and returns the first close error). It is idempotent —
+// repeated calls return the first call's result — and safe to call on
+// volumes that never started workers. Close waits for in-flight transfers
+// to finish; I/O submitted after Close returns ErrClosed without charging
+// counters, on the single-block and batched paths alike.
+func (v *Volume) Close() error {
 	v.closeOnce.Do(func() {
 		v.closeMu.Lock()
 		v.closed = true
@@ -286,18 +345,19 @@ func (v *Volume) Close() {
 		}
 		v.closeMu.Unlock()
 		v.workerWG.Wait()
+		v.closeErr = v.backend.Close()
 	})
+	return v.closeErr
 }
 
-// diskWorker drains disk i's request queue: it performs the data copies
+// diskWorker drains disk i's request queue: it performs the data transfers
 // immediately, then holds the job until its reserved deadline passes, so a
 // batch's join completes exactly when the model says the worst disk is done.
 func (v *Volume) diskWorker(i int) {
 	defer v.workerWG.Done()
-	d := &v.disks[i]
 	for job := range v.queues[i] {
 		for k, slot := range job.slots {
-			v.service(d, slot, job.bufs[k], job.write)
+			job.errs.record(v.service(i, slot, job.bufs[k], job.write))
 		}
 		sleepUntil(job.deadline)
 		job.wg.Done()
@@ -325,27 +385,13 @@ func sleepUntil(deadline time.Time) {
 	}
 }
 
-// service performs one block transfer on disk d at the given slot.
-func (v *Volume) service(d *disk, slot int64, buf []byte, write bool) {
+// service performs one block transfer on disk di at the given slot, holding
+// the disk's lock so the backend sees per-disk serialised access.
+func (v *Volume) service(di int, slot int64, buf []byte, write bool) error {
+	d := &v.disks[di]
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if write {
-		for int64(len(d.blocks)) <= slot {
-			d.blocks = append(d.blocks, nil)
-		}
-		if d.blocks[slot] == nil {
-			d.blocks[slot] = make([]byte, v.cfg.BlockBytes)
-		}
-		copy(d.blocks[slot], buf)
-		return
-	}
-	if slot < int64(len(d.blocks)) && d.blocks[slot] != nil {
-		copy(buf, d.blocks[slot])
-	} else {
-		// Reading a block that was allocated but never written yields a zero
-		// block, mirroring a freshly formatted disk region.
-		clear(buf)
-	}
+	return v.backend.Service(di, slot, buf, write)
 }
 
 // Config returns the volume's configuration.
@@ -418,47 +464,48 @@ func (v *Volume) checkAddr(addr int64) error {
 }
 
 // ReadBlock copies block addr into dst, which must be exactly one block long.
-// It costs one block read and one parallel step.
+// It costs one block read and one parallel step. After Close it returns
+// ErrClosed without charging counters.
 func (v *Volume) ReadBlock(addr int64, dst []byte) error {
-	if len(dst) != v.cfg.BlockBytes {
-		return fmt.Errorf("%w: got %d want %d", ErrBadBuffer, len(dst), v.cfg.BlockBytes)
-	}
-	if err := v.checkAddr(addr); err != nil {
-		return err
-	}
-	di := int(addr) % v.cfg.Disks
-	v.stats.addRead(di)
-	v.stats.addSteps(1)
-	d := &v.disks[di]
-	var deadline time.Time
-	if v.cfg.DiskLatency > 0 {
-		deadline = v.reserve(d, 1)
-	}
-	v.service(d, addr/int64(v.cfg.Disks), dst, false)
-	sleepUntil(deadline)
-	return nil
+	return v.single(addr, dst, false)
 }
 
 // WriteBlock stores src as block addr. It costs one block write and one
-// parallel step.
+// parallel step. After Close it returns ErrClosed without charging counters.
 func (v *Volume) WriteBlock(addr int64, src []byte) error {
-	if len(src) != v.cfg.BlockBytes {
-		return fmt.Errorf("%w: got %d want %d", ErrBadBuffer, len(src), v.cfg.BlockBytes)
+	return v.single(addr, src, true)
+}
+
+// single performs one unbatched transfer in either direction. The close
+// lock is held in read mode for the duration of the transfer, so Close —
+// which takes it in write mode before shutting the backend down — cannot
+// yank the backend out from under an in-flight Service call.
+func (v *Volume) single(addr int64, buf []byte, write bool) error {
+	if len(buf) != v.cfg.BlockBytes {
+		return fmt.Errorf("%w: got %d want %d", ErrBadBuffer, len(buf), v.cfg.BlockBytes)
 	}
 	if err := v.checkAddr(addr); err != nil {
 		return err
 	}
+	v.closeMu.RLock()
+	defer v.closeMu.RUnlock()
+	if v.closed {
+		return ErrClosed
+	}
 	di := int(addr) % v.cfg.Disks
-	v.stats.addWrite(di)
+	if write {
+		v.stats.addWrite(di)
+	} else {
+		v.stats.addRead(di)
+	}
 	v.stats.addSteps(1)
-	d := &v.disks[di]
 	var deadline time.Time
 	if v.cfg.DiskLatency > 0 {
-		deadline = v.reserve(d, 1)
+		deadline = v.reserve(&v.disks[di], 1)
 	}
-	v.service(d, addr/int64(v.cfg.Disks), src, true)
+	err := v.service(di, addr/int64(v.cfg.Disks), buf, write)
 	sleepUntil(deadline)
-	return nil
+	return err
 }
 
 // stepCost returns the parallel-step cost of touching the given addresses in
@@ -480,11 +527,17 @@ func (v *Volume) stepCost(addrs []int64) uint64 {
 }
 
 // serviceInline performs the given transfers sequentially on the calling
-// goroutine, in batch order.
-func (v *Volume) serviceInline(addrs []int64, bufs [][]byte, write bool) {
+// goroutine, in batch order. On a backend error it keeps servicing the
+// remaining transfers — the counters were already charged for all of them —
+// and returns the first error.
+func (v *Volume) serviceInline(addrs []int64, bufs [][]byte, write bool) error {
+	var first error
 	for i, a := range addrs {
-		v.service(&v.disks[int(a)%v.cfg.Disks], a/int64(v.cfg.Disks), bufs[i], write)
+		if err := v.service(int(a)%v.cfg.Disks, a/int64(v.cfg.Disks), bufs[i], write); err != nil && first == nil {
+			first = err
+		}
 	}
+	return first
 }
 
 // errJoin is the no-op join returned when a batch failed (or completed)
@@ -513,26 +566,24 @@ func (v *Volume) batch(addrs []int64, bufs [][]byte, write bool) func() error {
 	}
 	// Refuse closed volumes before any counter is charged or block moved,
 	// so an ErrClosed batch has no side effects at all — on zero-latency
-	// volumes too, where no worker queue exists to reject the I/O. With
-	// workers the read lock is held through dispatch so Close cannot shut
-	// the queues down between this check and the sends.
+	// volumes too, where no worker queue exists to reject the I/O. The read
+	// lock is held until batch returns: through dispatch with workers, so
+	// Close cannot shut the queues down between this check and the sends,
+	// and through the inline servicing without them, so Close cannot close
+	// the backend under an in-flight transfer.
 	v.closeMu.RLock()
+	defer v.closeMu.RUnlock()
 	if v.closed {
-		v.closeMu.RUnlock()
 		return errJoin(ErrClosed)
-	}
-	if v.queues != nil {
-		defer v.closeMu.RUnlock()
-	} else {
-		v.closeMu.RUnlock()
 	}
 	for i, a := range addrs {
 		if len(bufs[i]) != v.cfg.BlockBytes {
-			v.serviceInline(addrs[:i], bufs[:i], write)
+			// The validation error wins over any backend error on the prefix.
+			_ = v.serviceInline(addrs[:i], bufs[:i], write)
 			return errJoin(fmt.Errorf("%w: buffer %d has %d bytes", ErrBadBuffer, i, len(bufs[i])))
 		}
 		if err := v.checkAddr(a); err != nil {
-			v.serviceInline(addrs[:i], bufs[:i], write)
+			_ = v.serviceInline(addrs[:i], bufs[:i], write)
 			return errJoin(err)
 		}
 		if write {
@@ -544,14 +595,15 @@ func (v *Volume) batch(addrs []int64, bufs [][]byte, write bool) func() error {
 	v.stats.addSteps(v.stepCost(addrs))
 
 	if v.queues == nil {
-		v.serviceInline(addrs, bufs, write)
-		return errJoin(nil)
+		return errJoin(v.serviceInline(addrs, bufs, write))
 	}
 	// Split the batch by disk and dispatch one job per involved disk, each
 	// with its service time reserved now; the join completes when the worst
-	// disk's reservation has run out — the parallel-step cost on a clock.
+	// disk's reservation has run out — the parallel-step cost on a clock —
+	// and returns the first transfer error any disk hit.
 	jobs := make([]diskJob, v.cfg.Disks)
 	wg := new(sync.WaitGroup)
+	be := new(batchErr)
 	for i, a := range addrs {
 		di := int(a) % v.cfg.Disks
 		jobs[di].slots = append(jobs[di].slots, a/int64(v.cfg.Disks))
@@ -563,13 +615,14 @@ func (v *Volume) batch(addrs []int64, bufs [][]byte, write bool) func() error {
 		}
 		jobs[di].write = write
 		jobs[di].deadline = v.reserve(&v.disks[di], len(jobs[di].slots))
+		jobs[di].errs = be
 		jobs[di].wg = wg
 		wg.Add(1)
 		v.queues[di] <- jobs[di]
 	}
 	return func() error {
 		wg.Wait()
-		return nil
+		return be.first()
 	}
 }
 

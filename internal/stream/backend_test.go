@@ -1,0 +1,149 @@
+package stream
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"em/internal/pdm"
+	"em/internal/record"
+)
+
+// forEachBackend runs fn against a memory-backed and a file-backed volume
+// of identical shape — the stream layer's variant of the pdm harness,
+// checking that nothing above the Volume can tell the backends apart.
+func forEachBackend(t *testing.T, cfg pdm.Config, fn func(t *testing.T, vol *pdm.Volume, pool *pdm.Pool)) {
+	t.Helper()
+	t.Run("mem", func(t *testing.T) {
+		vol := pdm.MustVolume(cfg)
+		defer vol.Close()
+		fn(t, vol, pdm.PoolFor(vol))
+	})
+	t.Run("file", func(t *testing.T) {
+		c := cfg
+		c.Dir = t.TempDir()
+		vol := pdm.MustVolume(c)
+		defer func() {
+			if err := vol.Close(); err != nil {
+				t.Errorf("close: %v", err)
+			}
+		}()
+		fn(t, vol, pdm.PoolFor(vol))
+	})
+}
+
+// TestBackendFileRoundTrip round-trips a record file through FromSlice and
+// ToSlice on both backends and asserts identical Stats snapshots.
+func TestBackendFileRoundTrip(t *testing.T) {
+	cfg := pdm.Config{BlockBytes: 64, MemBlocks: 8, Disks: 3}
+	in := recs(513)
+	var snaps []pdm.Stats
+	forEachBackend(t, cfg, func(t *testing.T, vol *pdm.Volume, pool *pdm.Pool) {
+		f, err := FromSlice(vol, pool, record.RecordCodec{}, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := ToSlice(f, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range in {
+			if out[i] != in[i] {
+				t.Fatalf("record %d mismatch", i)
+			}
+		}
+		if pool.InUse() != 0 {
+			t.Fatalf("leaked %d frames", pool.InUse())
+		}
+		snaps = append(snaps, vol.Stats().Snapshot())
+	})
+	if len(snaps) == 2 && !reflect.DeepEqual(snaps[0], snaps[1]) {
+		t.Fatalf("stats diverge across backends: mem %+v file %+v", snaps[0], snaps[1])
+	}
+}
+
+// TestBackendAsyncStreams runs the forecasting reader and write-behind
+// writer — including on a worker-engine volume — against both backends and
+// asserts the counted I/Os match the synchronous paths on each.
+func TestBackendAsyncStreams(t *testing.T) {
+	cfg := pdm.Config{BlockBytes: 64, MemBlocks: 16, Disks: 4, DiskLatency: 5 * time.Microsecond}
+	in := recs(777)
+	forEachBackend(t, cfg, func(t *testing.T, vol *pdm.Volume, pool *pdm.Pool) {
+		// Write-behind writer.
+		f := NewFile[record.Record](vol, record.RecordCodec{})
+		vol.Stats().Reset()
+		w, err := NewAsyncWriter(f, pool, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range in {
+			if err := w.Append(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		asyncWrites := vol.Stats().Snapshot().Writes
+
+		sf := NewFile[record.Record](vol, record.RecordCodec{})
+		vol.Stats().Reset()
+		sw, err := NewStripedWriter(sf, pool, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range in {
+			if err := sw.Append(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if syncWrites := vol.Stats().Snapshot().Writes; syncWrites != asyncWrites {
+			t.Fatalf("write counts diverge: async %d sync %d", asyncWrites, syncWrites)
+		}
+
+		// Forecasting reader vs synchronous striped reader.
+		vol.Stats().Reset()
+		r, err := NewPrefetchReader(f, pool, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := 0
+		for {
+			v, ok, err := r.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			if v != in[i] {
+				t.Fatalf("record %d differs", i)
+			}
+			i++
+		}
+		r.Close()
+		if i != len(in) {
+			t.Fatalf("read %d records, want %d", i, len(in))
+		}
+		asyncReads := vol.Stats().Snapshot().Reads
+
+		vol.Stats().Reset()
+		sr, err := NewStripedReader(f, pool, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Drain[record.Record](sr, func(record.Record) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+		sr.Close()
+		if syncReads := vol.Stats().Snapshot().Reads; syncReads != asyncReads {
+			t.Fatalf("read counts diverge: async %d sync %d", asyncReads, syncReads)
+		}
+		if pool.InUse() != 0 {
+			t.Fatalf("leaked %d frames", pool.InUse())
+		}
+	})
+}
