@@ -38,11 +38,13 @@ cover:
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkVolumeBatchRead|BenchmarkAsync' -benchtime 3x .
 
-# Machine-readable benchmark trajectory: sync vs async sort/bulk-load at
-# D in {1,4}, wall-clock and counted I/Os, written to BENCH_PR3.json.
-# Committed once per PR so perf history accumulates as a diffable series.
+# Machine-readable benchmark trajectory: sync vs async sort/bulk-load plus
+# the write-behind and pipelined sort→index modes at D in {1,4}, wall-clock
+# and counted I/Os, written to BENCH_PR4.json. Committed once per PR so perf
+# history accumulates as a diffable series (BENCH_PR3.json is the previous
+# point).
 bench-json:
-	$(GO) run ./cmd/embench -json BENCH_PR3.json
-	@cat BENCH_PR3.json
+	$(GO) run ./cmd/embench -json BENCH_PR4.json
+	@cat BENCH_PR4.json
 
 ci: build vet race

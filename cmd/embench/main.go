@@ -17,15 +17,18 @@
 // per-disk engine with a configurable service latency, wall-clock time is
 // meaningful too: every experiment prints its elapsed time, F9 sweeps the
 // engine itself (elapsed ms falling ×D at constant block count, and
-// forecasting prefetch overlapping compute with I/O), and F10 extends the
-// forecasting comparison to distribution sort and B-tree bulk loading.
+// forecasting prefetch overlapping compute with I/O), F10 extends the
+// forecasting comparison to distribution sort and B-tree bulk loading, and
+// F11 covers the write side — write-behind leaf batching and the pipelined
+// sort→index build against their synchronous twins.
 //
 // With -dir every experiment volume maps its simulated disks to real files
 // under the given directory (one numbered subdirectory per volume), so the
 // full catalogue exercises actual storage with identical counted I/Os.
 //
 // With -json the catalogue is skipped; instead the benchmark trajectory —
-// sync vs async merge sort, distribution sort and B-tree bulk load at
+// sync vs async merge sort, distribution sort, B-tree bulk load (plus its
+// write-behind mode) and the sequential vs pipelined sort→index build at
 // D ∈ {1, 4}, wall-clock and counted I/Os — is written to the given file
 // (the repository commits these as BENCH_*.json, one per PR, so perf
 // regressions show up as a diffable series; `make bench-json` regenerates
@@ -172,6 +175,12 @@ var catalogue = []experiment{
 		}
 		return experiments.F10ForecastSortIndex(1<<13, []int{1, 2, 4, 8}, 2*time.Millisecond)
 	}},
+	{"F11", "write-behind bulk load and sort→index pipeline recover the write path's serialization", func(q bool) (*experiments.Table, error) {
+		if q {
+			return experiments.F11WriteBehind(1<<13, []int{1, 4}, 2*time.Millisecond)
+		}
+		return experiments.F11WriteBehind(1<<13, []int{1, 2, 4, 8}, 2*time.Millisecond)
+	}},
 }
 
 func main() {
@@ -267,7 +276,7 @@ func writeBenchJSON(path string, quick bool) error {
 		return err
 	}
 	blob, err := json.MarshalIndent(benchFile{
-		Schema:  "em-bench-trajectory/v1",
+		Schema:  "em-bench-trajectory/v2",
 		Go:      runtime.Version(),
 		OS:      runtime.GOOS,
 		Arch:    runtime.GOARCH,

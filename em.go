@@ -47,6 +47,37 @@
 // their synchronous counterparts, so counted I/Os are unchanged at equal
 // fan-in (merge) or fan-out (distribution).
 //
+// # Write-optimal index construction
+//
+// Index construction gets the same treatment on its write side. The B-tree
+// bulk loader threads each leaf's sibling pointer forward — the successor's
+// block is allocated before the leaf is sealed — so no leaf is ever
+// revisited, and BulkLoadOptions.WriteBehind exploits exactly that: leaves
+// bypass the pinning cache and stream to the disks in Width-block batches
+// through the async engine while the next group is packed (internal nodes,
+// at most N/B of them, stay on the cache path). SortIndex composes the two
+// halves of index building — DistributionSort, then bulk load — and its
+// Pipeline mode overlaps them: the sort announces each durable block group
+// of its output through a bounded pipe (smallest key ranges first, since
+// the distribution recursion finishes buckets in key order) and the loader
+// packs leaves from those groups while later buckets still sort.
+//
+// None of this moves the counted model: write-behind issues exactly the
+// cache path's read and write I/Os, and the pipelined build issues exactly
+// the sequential build's — invariants the test suite pins on both storage
+// backends. The currencies traded are pool frames and wall-clock time.
+// Write-behind costs 2×Width extra frames (its double buffer): worth it
+// whenever leaf write-back dominates, since a cache-path loader writes one
+// block per step while D-1 disks idle, but on a tight pool those frames
+// come out of the loader's cache or the sort's fan-out, which can add a
+// pass — experiment F11 measures both sides of that trade. SortIndex
+// reserves the loader's whole budget (CacheFrames + 4×Width) up front in
+// every mode, so the sort's splitting decisions — and therefore its I/O
+// counts — are identical with and without the concurrent loader; the
+// pipeline's win is filling the disk idle the synchronous phases leave,
+// which is largest when the loader's writes are serialized (cache path)
+// and shrinks to nothing once write-behind already saturates the disks.
+//
 // # File-backed volumes
 //
 // Where a volume's blocks live is pluggable through the Backend seam: the
@@ -77,7 +108,7 @@
 //   - external sorting: MergeSort, DistributionSort, SortViaBTree (baseline)
 //   - permuting: Permute, PermuteNaive, PermuteBySorting
 //   - matrices: Matrix, Transpose, TransposeNaive, MatMul
-//   - online dictionaries: BTree (with BulkLoadBTree), HashTable
+//   - online dictionaries: BTree (with BulkLoadBTree and SortIndex), HashTable
 //   - batched updates: BufferTree
 //   - priority queues: PQ
 //   - graph algorithms: Graph, BFS, BFSUndirected, ConnectedComponents
@@ -402,24 +433,31 @@ func NewBTree(vol *Volume, pool *Pool, cacheFrames int) (*BTree, error) {
 // BulkLoadBTree builds a B+-tree bottom-up from a key-sorted record file in
 // Θ(N/B) I/Os — versus Θ(N log_B N) for repeated insertion (experiment T9).
 // The input is read synchronously one block at a time; BulkLoadBTreeWith
-// adds striping and forecasting read-ahead.
+// adds striping, forecasting read-ahead, and write-behind leaf batching.
 func BulkLoadBTree(vol *Volume, pool *Pool, cacheFrames int, sorted *File[Record]) (*BTree, error) {
 	return btree.BulkLoad(vol, pool, cacheFrames, sorted, nil)
 }
 
-// BulkLoadOptions tunes BulkLoadBTreeWith's input stream: Width stripes the
-// reads over the disks, and Async keeps the next block group of the sorted
-// run in flight (forecasting read-ahead, 2×Width pool frames) while leaves
-// are packed and nodes written back. Counted I/Os are identical to the
-// synchronous reader's at equal width.
+// BulkLoadOptions tunes BulkLoadBTreeWith's streams: Width stripes the
+// reads over the disks, Async keeps the next block group of the sorted run
+// in flight (forecasting read-ahead, 2×Width pool frames) while leaves are
+// packed and nodes written back, and WriteBehind batches the leaf writes
+// Width at a time through the async engine (another 2×Width frames — see
+// the package comment's write-optimal index construction section). Counted
+// I/Os are identical to the synchronous paths' at equal width.
 type BulkLoadOptions = btree.BulkLoadOptions
 
 // BulkLoadBTreeWith is BulkLoadBTree with an options-driven input stream.
-// On any error — unsorted input, failed read, exhausted pool — every block
-// and frame the load took is returned, so the pool is exactly as it was.
+// On any error — unsorted input, failed read or write, exhausted pool —
+// every block and frame the load took is returned and any in-flight leaf
+// batch is joined, so the pool is exactly as it was.
 func BulkLoadBTreeWith(vol *Volume, pool *Pool, cacheFrames int, sorted *File[Record], opts *BulkLoadOptions) (*BTree, error) {
 	return btree.BulkLoad(vol, pool, cacheFrames, sorted, opts)
 }
+
+// ErrUnsortedInput reports a bulk-load input that is not strictly
+// increasing by key (duplicates included).
+var ErrUnsortedInput = btree.ErrUnsortedInput
 
 // HashTable is an extendible-hashing dictionary: O(1) expected probes per
 // lookup, versus the B-tree's Θ(log_B N).

@@ -3,8 +3,16 @@
 // engine makes when building secondary indexes:
 //
 //  1. repeated B-tree insertion       Θ(N·log_B N) I/Os
-//  2. external sort + bulk load       Θ(Sort(N))   I/Os
+//  2. pipelined sort→index build      Θ(Sort(N))   I/Os
 //  3. buffer tree, then bulk load     Θ(Sort(N))   I/Os, online inserts
+//
+// Method 2 is em.SortIndex in full: distribution sort and bottom-up bulk
+// load running concurrently, the loader packing leaves from each durable
+// block group of sorted output while later buckets still sort, and leaf
+// write-back batched D blocks at a time through the async engine. The
+// pipelining and write-behind change when the I/Os happen — overlapped,
+// D disks at a step — never how many there are, so the counted savings
+// shown here are exactly the survey's Sort(N) vs N·log_B N gap.
 //
 // Run with:
 //
@@ -21,7 +29,8 @@ import (
 
 const (
 	blockBytes = 2048
-	memBlocks  = 32
+	memBlocks  = 64
+	disks      = 4
 	n          = 200_000
 )
 
@@ -36,7 +45,7 @@ func dataset() []em.Record {
 
 // freshEnv materialises the dataset on a new volume and resets counters.
 func freshEnv(recs []em.Record) (*em.Volume, *em.Pool, *em.File[em.Record]) {
-	vol := em.MustVolume(em.Config{BlockBytes: blockBytes, MemBlocks: memBlocks, Disks: 1})
+	vol := em.MustVolume(em.Config{BlockBytes: blockBytes, MemBlocks: memBlocks, Disks: disks})
 	pool := em.PoolFor(vol)
 	f, err := em.FromSlice(vol, pool, em.RecordCodec{}, recs)
 	if err != nil {
@@ -48,8 +57,8 @@ func freshEnv(recs []em.Record) (*em.Volume, *em.Pool, *em.File[em.Record]) {
 
 func main() {
 	recs := dataset()
-	fmt.Printf("building an index over %d records (block=%dB, mem=%d blocks)\n\n",
-		n, blockBytes, memBlocks)
+	fmt.Printf("building an index over %d records (block=%dB, mem=%d blocks, D=%d)\n\n",
+		n, blockBytes, memBlocks, disks)
 
 	// 1. Repeated insertion.
 	vol, pool, f := freshEnv(recs)
@@ -70,22 +79,21 @@ func main() {
 	fmt.Printf("%-28s %10d I/Os   (height %d, %d keys)\n",
 		"repeated insertion:", insertIOs, bt.Height(), bt.Len())
 
-	// 2. Sort + bulk load.
+	// 2. Pipelined sort→index: sort and loader overlapped, leaves batched
+	// D at a time write-behind.
 	vol, pool, f = freshEnv(recs)
-	sorted, err := em.SortRecords(f, pool, nil)
-	if err != nil {
-		log.Fatal(err)
-	}
-	bt2, err := em.BulkLoadBTree(vol, pool, 8, sorted)
+	bt2, err := em.SortIndex(f, pool, &em.SortIndexOptions{
+		Width: disks, Async: true, WriteBehind: true, Pipeline: true,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	if err := bt2.Close(); err != nil {
 		log.Fatal(err)
 	}
-	bulkIOs := vol.Stats().Total()
+	pipeIOs := vol.Stats().Total()
 	fmt.Printf("%-28s %10d I/Os   (height %d, %d keys)\n",
-		"sort + bulk load:", bulkIOs, bt2.Height(), bt2.Len())
+		"pipelined sort→index:", pipeIOs, bt2.Height(), bt2.Len())
 
 	// 3. Buffer tree absorbing online inserts, sealed into a bulk load.
 	vol, pool, f = freshEnv(recs)
@@ -113,8 +121,9 @@ func main() {
 	fmt.Printf("%-28s %10d I/Os   (height %d, %d keys)\n",
 		"buffer tree + bulk load:", bufIOs, bt3.Height(), bt3.Len())
 
-	fmt.Printf("\nsort+bulk is %.1fx cheaper than repeated insertion;\n",
-		float64(insertIOs)/float64(bulkIOs))
+	fmt.Printf("\nthe pipelined build saves %d I/Os — %.1fx cheaper than repeated insertion —\n",
+		insertIOs-pipeIOs, float64(insertIOs)/float64(pipeIOs))
+	fmt.Printf("while overlapping the sort and the load on the volume's %d disks;\n", disks)
 	fmt.Printf("the buffer tree keeps inserts online at %.1fx cheaper.\n",
 		float64(insertIOs)/float64(bufIOs))
 

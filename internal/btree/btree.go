@@ -90,6 +90,29 @@ func New(vol *pdm.Volume, pool *pdm.Pool, cacheFrames int) (*Tree, error) {
 // Close flushes and releases the tree's cache.
 func (t *Tree) Close() error { return t.cache.Close() }
 
+// Rehome flushes the tree's buffer manager and replaces it with a fresh one
+// drawing cacheFrames frames from pool. em.SortIndex builds trees against a
+// reserved construction budget and rehomes them onto the caller's pool
+// before returning, so a tree's steady-state frames are always charged
+// where its future I/O is. The cache must have no pinned pages.
+func (t *Tree) Rehome(pool *pdm.Pool, cacheFrames int) error {
+	if cacheFrames < 3 {
+		return fmt.Errorf("btree: cache needs >= 3 frames, got %d", cacheFrames)
+	}
+	// Close (flush) the old cache before creating the replacement, so a
+	// flush failure leaves nothing half-constructed behind; the new cache
+	// allocates its frames lazily, so creation cannot fail on a tight pool.
+	if err := t.cache.Close(); err != nil {
+		return err
+	}
+	c, err := cache.New(t.vol, pool, cacheFrames)
+	if err != nil {
+		return err
+	}
+	t.cache = c
+	return nil
+}
+
 // Len returns the number of keys stored.
 func (t *Tree) Len() int64 { return t.n }
 
@@ -106,16 +129,39 @@ func (t *Tree) Fanout() int { return t.keyCap + 1 }
 func (t *Tree) CacheStats() cache.CacheStats { return t.cache.Stats() }
 
 // --- node accessors -------------------------------------------------------
+//
+// The buf* functions operate on a raw block image, so a node can be built
+// directly in a pool frame (the bulk loader's write-behind leaf path) as
+// well as in a cache page; the page accessors delegate to them and add the
+// dirty-bit bookkeeping the buffer manager needs.
+
+func bufInitNode(b []byte, leaf bool) {
+	clear(b)
+	var flags uint16
+	if leaf {
+		flags = flagLeaf
+	}
+	binary.LittleEndian.PutUint16(b[offFlags:], flags)
+	binary.LittleEndian.PutUint64(b[offNext:], ^uint64(0)) // -1: no sibling
+}
+func bufSetCount(b []byte, n int) { binary.LittleEndian.PutUint16(b[offCount:], uint16(n)) }
+func bufSetNextLeaf(b []byte, a int64) {
+	binary.LittleEndian.PutUint64(b[offNext:], uint64(a))
+}
+func bufSetLeafKV(b []byte, i int, k, v uint64) {
+	binary.LittleEndian.PutUint64(b[offData+16*i:], k)
+	binary.LittleEndian.PutUint64(b[offData+16*i+8:], v)
+}
 
 func isLeaf(p *cache.Page) bool { return binary.LittleEndian.Uint16(p.Buf[offFlags:])&flagLeaf != 0 }
 func count(p *cache.Page) int   { return int(binary.LittleEndian.Uint16(p.Buf[offCount:])) }
 func setCount(p *cache.Page, n int) {
-	binary.LittleEndian.PutUint16(p.Buf[offCount:], uint16(n))
+	bufSetCount(p.Buf, n)
 	p.MarkDirty()
 }
 func nextLeaf(p *cache.Page) int64 { return int64(binary.LittleEndian.Uint64(p.Buf[offNext:])) }
 func setNextLeaf(p *cache.Page, a int64) {
-	binary.LittleEndian.PutUint64(p.Buf[offNext:], uint64(a))
+	bufSetNextLeaf(p.Buf, a)
 	p.MarkDirty()
 }
 
@@ -126,8 +172,7 @@ func leafVal(p *cache.Page, i int) uint64 {
 	return binary.LittleEndian.Uint64(p.Buf[offData+16*i+8:])
 }
 func setLeafKV(p *cache.Page, i int, k, v uint64) {
-	binary.LittleEndian.PutUint64(p.Buf[offData+16*i:], k)
-	binary.LittleEndian.PutUint64(p.Buf[offData+16*i+8:], v)
+	bufSetLeafKV(p.Buf, i, k, v)
 	p.MarkDirty()
 }
 
@@ -153,18 +198,24 @@ func (t *Tree) setChild(p *cache.Page, i int, a int64) {
 // block is returned to the volume rather than stranded.
 func (t *Tree) newNode(leaf bool) (*cache.Page, error) {
 	addr := t.vol.Alloc(1)
-	p, err := t.cache.GetNew(addr)
+	p, err := t.newNodeAt(addr, leaf)
 	if err != nil {
 		t.vol.Free(addr)
 		return nil, err
 	}
-	var flags uint16
-	if leaf {
-		flags = flagLeaf
+	return p, nil
+}
+
+// newNodeAt pins a fresh node page for a block address the caller already
+// allocated (the bulk loader pre-allocates each leaf's successor so sibling
+// pointers can be threaded forward). The caller keeps ownership of addr on
+// error.
+func (t *Tree) newNodeAt(addr int64, leaf bool) (*cache.Page, error) {
+	p, err := t.cache.GetNew(addr)
+	if err != nil {
+		return nil, err
 	}
-	binary.LittleEndian.PutUint16(p.Buf[offFlags:], flags)
-	binary.LittleEndian.PutUint16(p.Buf[offCount:], 0)
-	binary.LittleEndian.PutUint64(p.Buf[offNext:], ^uint64(0)) // -1: no sibling
+	bufInitNode(p.Buf, leaf)
 	p.MarkDirty()
 	return p, nil
 }

@@ -97,7 +97,13 @@ func TestBulkLoadErrorRestoresPool(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, opts := range []*BulkLoadOptions{nil, {Width: 2}, {Width: 2, Async: true}} {
+		for _, opts := range []*BulkLoadOptions{
+			nil,
+			{Width: 2},
+			{Width: 2, Async: true},
+			{Width: 2, WriteBehind: true},
+			{Width: 2, Async: true, WriteBehind: true},
+		} {
 			// 12 frames suffice for the reader and a working cache on the
 			// sorted-violation cases; the "starved" case asks for a 64-page
 			// cache that exhausts the pool once enough leaves are resident.

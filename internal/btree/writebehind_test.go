@@ -1,0 +1,182 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"em/internal/pdm"
+	"em/internal/record"
+	"em/internal/stream"
+)
+
+// forEachBackend runs fn against a memory-backed and a file-backed volume
+// of identical shape, mirroring the pdm and stream harnesses.
+func forEachBackend(t *testing.T, cfg pdm.Config, fn func(t *testing.T, vol *pdm.Volume, pool *pdm.Pool)) {
+	t.Helper()
+	t.Run("mem", func(t *testing.T) {
+		vol := pdm.MustVolume(cfg)
+		defer vol.Close()
+		fn(t, vol, pdm.PoolFor(vol))
+	})
+	t.Run("file", func(t *testing.T) {
+		c := cfg
+		c.Dir = t.TempDir()
+		vol := pdm.MustVolume(c)
+		defer func() {
+			if err := vol.Close(); err != nil {
+				t.Errorf("close: %v", err)
+			}
+		}()
+		fn(t, vol, pdm.PoolFor(vol))
+	})
+}
+
+// loadAndCollect bulk-loads vs on a fresh cfg-shaped volume, closes the
+// tree, and returns the key/value pairs it holds and the Stats the load plus
+// close charged.
+func loadAndCollect(t *testing.T, cfg pdm.Config, vs []record.Record, cacheFrames int, opts *BulkLoadOptions) ([][2]uint64, pdm.Stats) {
+	t.Helper()
+	vol := pdm.MustVolume(cfg)
+	defer vol.Close()
+	pool := pdm.PoolFor(vol)
+	f, err := stream.FromSlice(vol, pool, record.RecordCodec{}, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol.Stats().Reset()
+	tr, err := BulkLoad(vol, pool, cacheFrames, f, opts)
+	if err != nil {
+		t.Fatalf("opts=%+v: %v", opts, err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := vol.Stats().Snapshot()
+	// Reopen a read path over the same volume to verify what actually
+	// reached the disks — not what a cache might still be holding.
+	tr2, err := New(vol, pool, cacheFrames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2.root, tr2.height, tr2.n = tr.root, tr.height, tr.n
+	var kvs [][2]uint64
+	if err := tr2.Range(0, ^uint64(0), func(k, v uint64) error {
+		kvs = append(kvs, [2]uint64{k, v})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if pool.InUse() != 0 {
+		t.Fatalf("opts=%+v: leaked %d frames", opts, pool.InUse())
+	}
+	return kvs, st
+}
+
+// TestBulkLoadWriteBehindMatchesSync bulk-loads the same sorted file through
+// the cache leaf path and the write-behind leaf path at equal width and
+// asserts identical trees and identical counted reads and writes — batching
+// the leaf flushes changes parallel steps and the wall clock, never the
+// transfer counts or the index. Parallel steps must not increase.
+func TestBulkLoadWriteBehindMatchesSync(t *testing.T) {
+	cfg := pdm.Config{BlockBytes: 256, MemBlocks: 32, Disks: 4}
+	for _, width := range []int{1, 2, 4} {
+		for _, n := range []int{0, 1, 100, 3000} {
+			vs := sortedRecords(n)
+			sKVs, sSt := loadAndCollect(t, cfg, vs, 8, &BulkLoadOptions{Width: width})
+			wKVs, wSt := loadAndCollect(t, cfg, vs, 8, &BulkLoadOptions{Width: width, Async: true, WriteBehind: true})
+			if len(sKVs) != n || len(wKVs) != n {
+				t.Fatalf("w=%d n=%d: lengths sync=%d wb=%d", width, n, len(sKVs), len(wKVs))
+			}
+			for i := range sKVs {
+				if sKVs[i] != wKVs[i] {
+					t.Fatalf("w=%d n=%d: entry %d differs: %v vs %v", width, n, i, sKVs[i], wKVs[i])
+				}
+			}
+			if sSt.Reads != wSt.Reads || sSt.Writes != wSt.Writes {
+				t.Fatalf("w=%d n=%d: transfer counts diverge: sync %+v wb %+v", width, n, sSt, wSt)
+			}
+			if wSt.Steps > sSt.Steps {
+				t.Fatalf("w=%d n=%d: write-behind costs more steps (%d) than sync (%d)",
+					width, n, wSt.Steps, sSt.Steps)
+			}
+		}
+	}
+}
+
+// TestWriteBehindEvictionRace is the cache/write-behind interaction
+// property: while a batched leaf flush is in flight on the worker engine,
+// the internal-level build evicts dirty pages through the same volume. No
+// dirty page may be lost (every key must read back from disk) and none may
+// be written twice (total writes must equal the cache path's, which writes
+// each node exactly once). Runs on both backends; `make ci` runs it under
+// the race detector.
+func TestWriteBehindEvictionRace(t *testing.T) {
+	cfg := pdm.Config{BlockBytes: 256, MemBlocks: 40, Disks: 4, DiskLatency: 100 * time.Microsecond}
+	rng := rand.New(rand.NewSource(0xF11))
+	sizes := []int{1, 500, 2000}
+	for i := 0; i < 3; i++ {
+		sizes = append(sizes, 1+rng.Intn(4000))
+	}
+	for _, n := range sizes {
+		vs := sortedRecords(n)
+		var want [][2]uint64
+		var wantWrites uint64
+		forEachBackend(t, cfg, func(t *testing.T, vol *pdm.Volume, pool *pdm.Pool) {
+			f, err := stream.FromSlice(vol, pool, record.RecordCodec{}, vs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vol.Stats().Reset()
+			// The minimum legal cache keeps the internal build evicting
+			// constantly while leaf batches are still travelling.
+			tr, err := BulkLoad(vol, pool, 3, f, &BulkLoadOptions{Width: 4, Async: true, WriteBehind: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.Close(); err != nil {
+				t.Fatal(err)
+			}
+			writes := vol.Stats().Snapshot().Writes
+			var kvs [][2]uint64
+			if err := tr.Range(0, ^uint64(0), func(k, v uint64) error {
+				kvs = append(kvs, [2]uint64{k, v})
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			// The verification Range repopulated the flushed cache; close
+			// again to hand its frames back.
+			if err := tr.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if len(kvs) != n {
+				t.Fatalf("n=%d: %d records survived the race", n, len(kvs))
+			}
+			for i, kv := range kvs {
+				if kv[0] != vs[i].Key || kv[1] != vs[i].Val {
+					t.Fatalf("n=%d: record %d corrupted: %v", n, i, kv)
+				}
+			}
+			if want == nil {
+				want, wantWrites = kvs, writes
+				// The cache path on a latency-free volume is the
+				// write-exactly-once reference.
+				ref := pdm.Config{BlockBytes: cfg.BlockBytes, MemBlocks: cfg.MemBlocks, Disks: cfg.Disks}
+				_, refSt := loadAndCollect(t, ref, vs, 3, &BulkLoadOptions{Width: 4})
+				if writes != refSt.Writes {
+					t.Fatalf("n=%d: write-behind wrote %d blocks, cache path writes %d (lost or doubled page)",
+						n, writes, refSt.Writes)
+				}
+			} else if writes != wantWrites {
+				t.Fatalf("n=%d: backends disagree on writes: %d vs %d", n, writes, wantWrites)
+			}
+			if pool.InUse() != 0 {
+				t.Fatalf("n=%d: leaked %d frames", n, pool.InUse())
+			}
+		})
+	}
+}

@@ -2,11 +2,13 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"em/internal/btree"
 	"em/internal/extsort"
 	"em/internal/pdm"
+	"em/internal/pipeline"
 	"em/internal/record"
 	"em/internal/stream"
 )
@@ -17,19 +19,24 @@ import (
 // cmd/embench -json emits a slice of these (BENCH_*.json); future PRs
 // compare their own trajectory files against the committed ones.
 type BenchResult struct {
-	Workload string  `json:"workload"` // mergesort | distsort | bulkload
-	Mode     string  `json:"mode"`     // sync | async
-	Disks    int     `json:"disks"`
-	Records  int     `json:"records"`
-	WallMs   float64 `json:"wallMs"`
-	Reads    uint64  `json:"reads"`
-	Writes   uint64  `json:"writes"`
-	Steps    uint64  `json:"steps"`
+	// Workload is mergesort | distsort | bulkload | sortindex.
+	Workload string `json:"workload"`
+	// Mode is sync | async for the sorts; the bulk load adds writebehind
+	// and the sortindex build reports its composition instead — sequential,
+	// pipelined, or pipelined+wb, all on async streams.
+	Mode    string  `json:"mode"`
+	Disks   int     `json:"disks"`
+	Records int     `json:"records"`
+	WallMs  float64 `json:"wallMs"`
+	Reads   uint64  `json:"reads"`
+	Writes  uint64  `json:"writes"`
+	Steps   uint64  `json:"steps"`
 }
 
 // BenchTrajectory measures the repository's headline perf surface: merge
-// sort, distribution sort and B-tree bulk load, synchronous vs
-// forecast-driven asynchronous, at D ∈ {1, 4}, on a worker-engine volume
+// sort, distribution sort, B-tree bulk load and the sort→index build —
+// synchronous vs forecast-driven asynchronous, plus the new write-behind
+// and pipelined compositions — at D ∈ {1, 4}, on a worker-engine volume
 // with a fixed per-block service latency (so wall clock reflects the
 // model's parallel-step cost, not host noise). Counted I/Os come from the
 // same Stats every experiment table reports, reset per workload.
@@ -126,6 +133,53 @@ func benchPoint(n, d int, async bool, latency time.Duration) ([]BenchResult, err
 		return tr.Close()
 	}); err != nil {
 		return nil, err
+	}
+	if !async {
+		return out, nil
+	}
+
+	// The write-behind loader and the sort→index compositions ride the
+	// async pass only: their interesting axis is composition, not the
+	// stream mode, which is async throughout.
+	mode = "writebehind"
+	if err := measure("bulkload", func() error {
+		tr, err := btree.BulkLoad(vol, pool, 8, sf, &btree.BulkLoadOptions{Width: d, Async: true, WriteBehind: true})
+		if err != nil {
+			return err
+		}
+		return tr.Close()
+	}); err != nil {
+		return nil, err
+	}
+
+	perm := make([]record.Record, n) // SortIndex needs distinct keys
+	for i, k := range rand.New(rand.NewSource(43)).Perm(n) {
+		perm[i] = record.Record{Key: uint64(k + 1), Val: uint64(i)}
+	}
+	pf, err := stream.FromSlice(vol, pool, record.RecordCodec{}, perm)
+	if err != nil {
+		return nil, err
+	}
+	for _, ix := range []struct {
+		mode          string
+		pipelined, wb bool
+	}{
+		{"sequential", false, false},
+		{"pipelined", true, false},
+		{"pipelined+wb", true, true},
+	} {
+		mode = ix.mode
+		if err := measure("sortindex", func() error {
+			tr, err := pipeline.SortIndex(pf, pool, &pipeline.Options{
+				Width: d, Async: true, WriteBehind: ix.wb, Pipeline: ix.pipelined,
+			})
+			if err != nil {
+				return err
+			}
+			return tr.Close()
+		}); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

@@ -388,3 +388,50 @@ func TestF10ForecastShape(t *testing.T) {
 		}
 	}
 }
+
+func TestF11WriteBehindShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	tab, err := F11WriteBehind(1<<13, []int{1, 4}, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, d4 := tab.Rows[0], tab.Rows[1]
+	for _, r := range tab.Rows {
+		// Write-behind batches the same writes; it must never add any.
+		if r.Cells["bulkWBWrites"] != r.Cells["bulkWrites"] {
+			t.Errorf("%s: write-behind wrote %.0f blocks, cache path %.0f",
+				r.Label, r.Cells["bulkWBWrites"], r.Cells["bulkWrites"])
+		}
+		// Nor may it lose on the clock at the same D (15% tolerates noise).
+		if r.Cells["bulkWBMs"] > 1.15*r.Cells["bulkSyncMs"] {
+			t.Errorf("%s: write-behind load %.1fms slower than sync %.1fms",
+				r.Label, r.Cells["bulkWBMs"], r.Cells["bulkSyncMs"])
+		}
+		if r.Cells["pipeMs"] > 1.05*r.Cells["seqMs"] {
+			t.Errorf("%s: pipelined build %.1fms slower than sequential %.1fms",
+				r.Label, r.Cells["pipeMs"], r.Cells["seqMs"])
+		}
+		// The full stack — pipeline plus write-behind — sits on the
+		// disk-bound floor and must not lose to either partial mode.
+		if r.Cells["pipeWBMs"] > 1.1*r.Cells["pipeMs"] {
+			t.Errorf("%s: pipeline+write-behind %.1fms slower than pipeline alone %.1fms",
+				r.Label, r.Cells["pipeWBMs"], r.Cells["pipeMs"])
+		}
+	}
+	// The ISSUE 4 acceptance gates: D=4 write-behind load beats the D=1
+	// synchronous loader well past the old ~1.6x read-only-forecast mark,
+	// and the D=4 pipeline is strictly below its sequential twin.
+	speedup := d1.Cells["bulkSyncMs"] / d4.Cells["bulkWBMs"]
+	t.Logf("bulk: D=1 sync %.1fms, D=4 write-behind %.1fms, speedup %.2fx",
+		d1.Cells["bulkSyncMs"], d4.Cells["bulkWBMs"], speedup)
+	if speedup < 2.5 {
+		t.Errorf("D=4 write-behind speedup %.2fx over D=1 sync, want >= 2.5x", speedup)
+	}
+	t.Logf("index: D=4 sequential %.1fms, pipelined %.1fms", d4.Cells["seqMs"], d4.Cells["pipeMs"])
+	if d4.Cells["pipeMs"] >= d4.Cells["seqMs"] {
+		t.Errorf("D=4 pipelined build %.1fms not strictly below sequential %.1fms",
+			d4.Cells["pipeMs"], d4.Cells["seqMs"])
+	}
+}

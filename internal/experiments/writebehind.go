@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"em/internal/btree"
+	"em/internal/pdm"
+	"em/internal/pipeline"
+	"em/internal/record"
+	"em/internal/stream"
+)
+
+// F11WriteBehind measures the write side of index construction on the
+// worker engine, swept over disk counts. The cache-path bulk load trickles
+// its node write-backs out one synchronous block at a time — each write
+// busies a single disk while the other D-1 idle — and that serialization is
+// recovered two independent ways: write-behind (bulkWBMs) batches the
+// leaves D at a time through BatchWriteAsync so every write step uses all
+// disks, and the sort→index pipeline (pipeMs vs seqMs, measured on the
+// cache-path loader) hides the loader's serialized writes inside the
+// concurrently running sort's disk schedule. Combined (pipeWBMs) the build
+// sits on the disk-bound floor: total transfers over D disks times the
+// service latency, with nothing left to hide.
+//
+// The counted model never moves: write-behind issues exactly the write
+// I/Os of the cache path (bulkWrites vs bulkWBWrites, asserted equal by
+// the shape test), and the pipelined build issues exactly the sequential
+// build's reads and writes (pinned by the em-level quick-checks). What
+// falls is the wall clock, which is this experiment's currency; absolute
+// numbers vary with the host, the asserted shape is across D and modes.
+func F11WriteBehind(n int, disks []int, latency time.Duration) (*Table, error) {
+	t := &Table{
+		ID:    "F11",
+		Title: "write-behind bulk load and sort→index pipeline vs their synchronous paths across D",
+		Notes: "write I/Os identical; D=4 write-behind beats D=1 sync >= 2.5x; D=4 pipeline strictly under sequential",
+	}
+	for _, d := range disks {
+		row, err := writeBehindPoint(n, d, latency)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, *row)
+	}
+	return t, nil
+}
+
+// writeBehindPoint runs the four timed workloads for one disk count, owning
+// the volume for exactly its scope.
+func writeBehindPoint(n, d int, latency time.Duration) (*Row, error) {
+	// The pool grows by exactly SortIndex's reserved loader budget (8 cache
+	// frames + 4×D stream frames), so the sort keeps F10's 96 effective
+	// frames — and the same fan-out and pass structure — at every point of
+	// the D sweep instead of starving at high D.
+	cfg := pdm.Config{BlockBytes: 1024, MemBlocks: 96 + 8 + 4*d, Disks: d, DiskLatency: latency}
+	vol, err := newVolume(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer vol.Close()
+	pool := pdm.PoolFor(vol)
+
+	sorted := make([]record.Record, n)
+	for i := range sorted {
+		sorted[i] = record.Record{Key: uint64(i + 1), Val: uint64(i)}
+	}
+	sf, err := stream.FromSlice(vol, pool, record.RecordCodec{}, sorted)
+	if err != nil {
+		return nil, err
+	}
+	timeBulk := func(opts *btree.BulkLoadOptions) (float64, uint64, error) {
+		vol.Stats().Reset()
+		start := time.Now()
+		tr, err := btree.BulkLoad(vol, pool, 8, sf, opts)
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := tr.Close(); err != nil {
+			return 0, 0, err
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		return ms, vol.Stats().Snapshot().Writes, nil
+	}
+	bulkSyncMs, bulkWrites, err := timeBulk(&btree.BulkLoadOptions{Width: d})
+	if err != nil {
+		return nil, err
+	}
+	bulkWBMs, bulkWBWrites, err := timeBulk(&btree.BulkLoadOptions{Width: d, Async: true, WriteBehind: true})
+	if err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(0xF11))
+	random := make([]record.Record, n)
+	for i, k := range rng.Perm(n) {
+		random[i] = record.Record{Key: uint64(k + 1), Val: uint64(i)}
+	}
+	rf, err := stream.FromSlice(vol, pool, record.RecordCodec{}, random)
+	if err != nil {
+		return nil, err
+	}
+	timeIndex := func(pipelined, writeBehind bool) (float64, error) {
+		start := time.Now()
+		tr, err := pipeline.SortIndex(rf, pool, &pipeline.Options{
+			Width: d, Async: true, WriteBehind: writeBehind, Pipeline: pipelined,
+		})
+		if err != nil {
+			return 0, err
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		return ms, tr.Close()
+	}
+	seqMs, err := timeIndex(false, false)
+	if err != nil {
+		return nil, err
+	}
+	pipeMs, err := timeIndex(true, false)
+	if err != nil {
+		return nil, err
+	}
+	pipeWBMs, err := timeIndex(true, true)
+	if err != nil {
+		return nil, err
+	}
+
+	return &Row{
+		Label: fmt.Sprintf("D=%d", d),
+		Cells: map[string]float64{
+			"bulkSyncMs":   bulkSyncMs,
+			"bulkWBMs":     bulkWBMs,
+			"bulkWrites":   float64(bulkWrites),
+			"bulkWBWrites": float64(bulkWBWrites),
+			"seqMs":        seqMs,
+			"pipeMs":       pipeMs,
+			"pipeWBMs":     pipeWBMs,
+		},
+		Order: []string{"bulkSyncMs", "bulkWBMs", "bulkWrites", "bulkWBWrites", "seqMs", "pipeMs", "pipeWBMs"},
+	}, nil
+}

@@ -25,20 +25,50 @@ import (
 // fan-out the counted I/Os are identical to the synchronous path; only
 // wall-clock overlap changes.
 func DistributionSort[T any](f *stream.File[T], pool *pdm.Pool, less func(a, b T) bool, opts *Options) (*stream.File[T], error) {
+	return DistributionSortNotify(f, pool, less, opts, nil)
+}
+
+// DistributionSortNotify is DistributionSort with a streaming emit mode:
+// notify observes the final output writer's flushes, learning — strictly in
+// key order, as the recursion finishes buckets smallest key range first —
+// which block groups of the sorted output are durable while later buckets
+// are still being split and sorted. Feeding a stream.TailPipe's Notify here
+// is what lets a consumer (the B-tree bulk loader, via em.SortIndex) read
+// sorted output concurrently with the sort, at counted I/Os identical to
+// sorting to completion first: the notifications add no transfers, and the
+// consumer's reads are the ones it would have issued afterwards anyway.
+// A notify error aborts the sort through its normal error paths (buckets
+// released, pool restored); a nil notify is exactly DistributionSort.
+//
+// Error cleanup differs between the two in one deliberate way: block
+// groups already announced through notify may still be in a concurrent
+// consumer's hands, so with a non-nil notify a failed sort returns the
+// partial output file alongside the error instead of releasing it —
+// freeing those blocks here would let them be reallocated and overwritten
+// under a consumer mid-read. The caller must Release the returned file
+// once the consumer has detached. With a nil notify (and on the
+// DistributionSort path) a failed sort releases everything and returns
+// (nil, err), as ever.
+func DistributionSortNotify[T any](f *stream.File[T], pool *pdm.Pool, less func(a, b T) bool, opts *Options, notify stream.FlushFunc) (*stream.File[T], error) {
 	out := stream.NewFile[T](f.Vol(), f.Codec())
-	ow, err := openSink(out, pool, opts)
+	ow, err := stream.OpenSinkNotify(out, pool, opts.width(), opts.async(), notify)
 	if err != nil {
+		return nil, err
+	}
+	fail := func(err error) (*stream.File[T], error) {
+		if notify != nil {
+			return out, err
+		}
+		out.Release()
 		return nil, err
 	}
 	d := &distSorter[T]{pool: pool, less: less, opts: opts, rng: rand.New(rand.NewSource(0x5EED))}
 	if err := d.sortInto(f, ow, false); err != nil {
 		ow.Close()
-		out.Release()
-		return nil, err
+		return fail(err)
 	}
 	if err := ow.Close(); err != nil {
-		out.Release()
-		return nil, err
+		return fail(err)
 	}
 	return out, nil
 }

@@ -1,0 +1,61 @@
+package extsort
+
+import (
+	"errors"
+	"testing"
+
+	"em/internal/pdm"
+	"em/internal/record"
+	"em/internal/stream"
+)
+
+// TestDistributionSortNotifyFailureKeepsOutput pins the streaming emit
+// mode's error contract: when the sort dies with a consumer attached, the
+// partial output file comes back un-released — its announced blocks may
+// still be in the consumer's hands, so freeing them inside the sort would
+// let a concurrent loader reallocate and overwrite blocks mid-read. The
+// caller releases once the consumer has detached, restoring every block.
+func TestDistributionSortNotifyFailureKeepsOutput(t *testing.T) {
+	vol := pdm.MustVolume(pdm.Config{BlockBytes: 256, MemBlocks: 48, Disks: 2})
+	pool := pdm.PoolFor(vol)
+	vs := make([]record.Record, 4000)
+	for i := range vs {
+		vs[i] = record.Record{Key: uint64(i * 7 % 4000), Val: uint64(i)}
+	}
+	f, err := stream.FromSlice(vol, pool, record.RecordCodec{}, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preFree := pool.Free()
+	preLive := vol.Allocated() - vol.FreeBlocks()
+
+	boom := errors.New("consumer gone")
+	groups := 0
+	notify := func(addrs []int64, recs int) error {
+		groups++
+		if groups > 2 {
+			return boom // the consumer walked away mid-pipeline
+		}
+		return nil
+	}
+	out, err := DistributionSortNotify(f, pool, record.Record.Less, &Options{Width: 2}, notify)
+	if !errors.Is(err, boom) {
+		t.Fatalf("sort error = %v, want the notify failure", err)
+	}
+	if out == nil {
+		t.Fatal("failed streaming sort released its partial output instead of returning it")
+	}
+	if pool.Free() != preFree || pool.InUse() != 0 {
+		t.Fatalf("pool not restored: free %d (pre %d), in use %d", pool.Free(), preFree, pool.InUse())
+	}
+	out.Release()
+	if live := vol.Allocated() - vol.FreeBlocks(); live != preLive {
+		t.Fatalf("stranded %d volume blocks after releasing the partial output", live-preLive)
+	}
+
+	// A nil notify keeps the classic contract: failures release everything.
+	unsortable := pdm.NewPool(256, 3) // too small for any sort
+	if out, err := DistributionSortNotify(f, unsortable, record.Record.Less, nil, nil); err == nil || out != nil {
+		t.Fatalf("starved sort with nil notify returned (%v, %v), want (nil, error)", out, err)
+	}
+}

@@ -1,0 +1,166 @@
+// Package pipeline composes the sort and index layers into the survey's
+// write-optimal index construction: a distribution sort feeding a bottom-up
+// B-tree bulk load, optionally overlapped so the loader consumes sorted
+// output while later buckets still sort. The em facade re-exports SortIndex;
+// the experiments package drives it directly.
+package pipeline
+
+import (
+	"em/internal/btree"
+	"em/internal/extsort"
+	"em/internal/pdm"
+	"em/internal/record"
+	"em/internal/stream"
+)
+
+// Options tunes SortIndex; see em.SortIndexOptions for the full story.
+type Options struct {
+	// Width is the striping width for every stream of both stages; set it
+	// to the volume's disk count D. Zero means 1.
+	Width int
+	// Async switches every stream to forecast-driven read-ahead and
+	// write-behind (double buffers, same counted I/Os at equal fan-out).
+	Async bool
+	// WriteBehind batches the loader's leaf writes (see
+	// btree.BulkLoadOptions).
+	WriteBehind bool
+	// CacheFrames sizes the tree's buffer manager; zero means 8.
+	CacheFrames int
+	// Pipeline overlaps the two stages through a bounded TailPipe.
+	Pipeline bool
+	// PipeDepth bounds how many block groups the sort may run ahead of the
+	// loader in pipeline mode; zero means 4.
+	PipeDepth int
+}
+
+func (o *Options) width() int {
+	if o == nil || o.Width < 1 {
+		return 1
+	}
+	return o.Width
+}
+
+func (o *Options) cacheFrames() int {
+	if o == nil || o.CacheFrames < 1 {
+		return 8
+	}
+	return o.CacheFrames
+}
+
+func (o *Options) pipeDepth() int {
+	if o == nil || o.PipeDepth < 1 {
+		return 4
+	}
+	return o.PipeDepth
+}
+
+// loaderFrames is the bulk loader's reserved frame budget: buffer manager
+// plus the worst-case stream charge — an input double buffer and a leaf
+// write-behind double buffer. The reservation is deliberately
+// mode-independent (a synchronous loader leaves part of it idle) so that
+// every mode combination at one width presents the sort with the same free
+// pool and therefore the same fan-out, pass structure, and counted I/Os.
+func (o *Options) loaderFrames() int {
+	return o.cacheFrames() + 4*o.width()
+}
+
+func (o *Options) sortOptions() *extsort.Options {
+	return &extsort.Options{Width: o.width(), Async: o != nil && o.Async}
+}
+
+func (o *Options) loadOptions() *btree.BulkLoadOptions {
+	return &btree.BulkLoadOptions{
+		Width:       o.width(),
+		Async:       o != nil && o.Async,
+		WriteBehind: o != nil && o.WriteBehind,
+	}
+}
+
+// SortIndex builds a B+-tree over an unsorted record file: distribution
+// sort into key order, then bottom-up bulk load — Θ(Sort(N)) I/Os end to
+// end. See em.SortIndex for the mode semantics and invariants.
+func SortIndex(f *stream.File[record.Record], pool *pdm.Pool, opts *Options) (*btree.Tree, error) {
+	vol := f.Vol()
+	// Reserve the loader's budget for the whole call, and run the loader on
+	// a private pool of exactly that size: the sort then sees the same free
+	// frames — and picks the same fan-out, pass structure, and therefore
+	// I/O counts — whether the loader runs after it or beside it.
+	reserve, err := pool.AllocN(opts.loaderFrames())
+	if err != nil {
+		return nil, err
+	}
+	defer pdm.ReleaseAll(reserve)
+	loaderPool := pdm.NewPool(vol.BlockBytes(), opts.loaderFrames())
+
+	var tr *btree.Tree
+	if opts != nil && opts.Pipeline {
+		tr, err = pipelined(f, pool, loaderPool, opts)
+	} else {
+		tr, err = sequential(f, pool, loaderPool, opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// The construction budget is about to be released; rehome the tree's
+	// buffer manager onto the caller's pool.
+	if err := tr.Rehome(pool, opts.cacheFrames()); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// sequential sorts to completion, then loads.
+func sequential(f *stream.File[record.Record], pool, loaderPool *pdm.Pool, opts *Options) (*btree.Tree, error) {
+	sorted, err := extsort.DistributionSort(f, pool, record.Record.Less, opts.sortOptions())
+	if err != nil {
+		return nil, err
+	}
+	tr, err := btree.BulkLoad(f.Vol(), loaderPool, opts.cacheFrames(), sorted, opts.loadOptions())
+	sorted.Release()
+	return tr, err
+}
+
+// pipelined runs the sort on a background goroutine, streaming its durable
+// output groups to the loader through a bounded TailPipe.
+func pipelined(f *stream.File[record.Record], pool, loaderPool *pdm.Pool, opts *Options) (*btree.Tree, error) {
+	vol := f.Vol()
+	pipe := stream.NewTailPipe(opts.pipeDepth())
+	src, err := stream.NewTailSource[record.Record](vol, f.Codec(), loaderPool, pipe, opts.width(), opts != nil && opts.Async)
+	if err != nil {
+		return nil, err
+	}
+
+	var sorted *stream.File[record.Record]
+	var sortErr error
+	sortDone := make(chan struct{})
+	go func() {
+		defer close(sortDone)
+		sorted, sortErr = extsort.DistributionSortNotify(f, pool, record.Record.Less, opts.sortOptions(), pipe.Notify)
+		pipe.CloseSend(sortErr)
+	}()
+
+	tr, loadErr := btree.BulkLoadFrom(vol, loaderPool, opts.cacheFrames(), src, opts.loadOptions())
+	// Closing the source end unblocks a producer mid-Notify if the loader
+	// bailed out early; then wait for the sort to finish unwinding before
+	// touching its output. A failed sort hands its partial output file back
+	// un-released (see DistributionSortNotify) precisely so that its blocks
+	// cannot be reallocated under the loader mid-read; with both sides
+	// detached it is safe to release here, on the error paths included.
+	src.Close()
+	<-sortDone
+	if sorted != nil {
+		sorted.Release()
+	}
+	if loadErr != nil {
+		// A sort failure reaches the loader through the pipe, so loadErr
+		// already carries the root cause.
+		return nil, loadErr
+	}
+	if sortErr != nil {
+		// The loader drained the pipe cleanly but the sort failed after its
+		// last flush; the half-built index is not trustworthy.
+		tr.Close()
+		return nil, sortErr
+	}
+	return tr, nil
+}

@@ -1,0 +1,196 @@
+package stream
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"em/internal/pdm"
+	"em/internal/record"
+)
+
+// pipeRecs produces n distinct records.
+func pipeRecs(n int) []record.Record {
+	vs := make([]record.Record, n)
+	for i := range vs {
+		vs[i] = record.Record{Key: uint64(i + 1), Val: uint64(i * 3)}
+	}
+	return vs
+}
+
+// TestTailPipeRoundTrip streams a file through a notifying writer into a
+// TailSource running concurrently and asserts the consumer sees every
+// record in order, at exactly the counted I/Os of writing the file and then
+// scanning it with a striped reader — the pipeline adds overlap, not
+// transfers. Swept over widths, sync and async on both ends, and both
+// backends.
+func TestTailPipeRoundTrip(t *testing.T) {
+	cfg := pdm.Config{BlockBytes: 64, MemBlocks: 24, Disks: 4, DiskLatency: 20 * time.Microsecond}
+	in := pipeRecs(999)
+	for _, width := range []int{1, 3} {
+		for _, async := range []bool{false, true} {
+			forEachBackend(t, cfg, func(t *testing.T, vol *pdm.Volume, pool *pdm.Pool) {
+				pipe := NewTailPipe(2)
+				src, err := NewTailSource[record.Record](vol, record.RecordCodec{}, pool, pipe, width, async)
+				if err != nil {
+					t.Fatal(err)
+				}
+				f := NewFile[record.Record](vol, record.RecordCodec{})
+				var wg sync.WaitGroup
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					w, err := OpenSinkNotify(f, pool, width, async, pipe.Notify)
+					if err != nil {
+						pipe.CloseSend(err)
+						return
+					}
+					for _, r := range in {
+						if err := w.Append(r); err != nil {
+							w.Close()
+							pipe.CloseSend(err)
+							return
+						}
+					}
+					pipe.CloseSend(w.Close())
+				}()
+				var got []record.Record
+				if err := Drain[record.Record](src, func(v record.Record) error {
+					got = append(got, v)
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+				src.Close()
+				wg.Wait()
+				if len(got) != len(in) {
+					t.Fatalf("w=%d async=%v: got %d records, want %d", width, async, len(got), len(in))
+				}
+				for i := range in {
+					if got[i] != in[i] {
+						t.Fatalf("w=%d async=%v: record %d differs", width, async, i)
+					}
+				}
+				pipelined := vol.Stats().Snapshot()
+
+				// Reference: write the same file, then scan it striped.
+				vol.Stats().Reset()
+				f2, err := FromSliceWidth(vol, pool, record.RecordCodec{}, in, width)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r, err := NewStripedReader(f2, pool, width)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := Drain[record.Record](r, func(record.Record) error { return nil }); err != nil {
+					t.Fatal(err)
+				}
+				r.Close()
+				seq := vol.Stats().Snapshot()
+				if pipelined.Reads != seq.Reads || pipelined.Writes != seq.Writes {
+					t.Fatalf("w=%d async=%v: pipelined I/Os (r=%d w=%d) != sequential (r=%d w=%d)",
+						width, async, pipelined.Reads, pipelined.Writes, seq.Reads, seq.Writes)
+				}
+				if pool.InUse() != 0 {
+					t.Fatalf("leaked %d frames", pool.InUse())
+				}
+			})
+		}
+	}
+}
+
+// FromSliceWidth materialises vs with a width-w striped writer, so flush
+// group boundaries match a notifying width-w producer's.
+func FromSliceWidth[T any](vol *pdm.Volume, pool *pdm.Pool, codec record.Codec[T], vs []T, width int) (*File[T], error) {
+	f := NewFile[T](vol, codec)
+	w, err := NewStripedWriter(f, pool, width)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range vs {
+		if err := w.Append(v); err != nil {
+			w.Close()
+			return nil, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// TestTailPipeProducerError delivers a mid-stream producer failure to the
+// consumer after the records that preceded it.
+func TestTailPipeProducerError(t *testing.T) {
+	vol := pdm.MustVolume(pdm.Config{BlockBytes: 64, MemBlocks: 16, Disks: 1})
+	pool := pdm.PoolFor(vol)
+	boom := errors.New("producer exploded")
+	pipe := NewTailPipe(4)
+	src, err := NewTailSource[record.Record](vol, record.RecordCodec{}, pool, pipe, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := pipeRecs(12) // 3 blocks of 4 records
+	f := NewFile[record.Record](vol, record.RecordCodec{})
+	w, err := OpenSinkNotify(f, pool, 1, false, pipe.Notify)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range in[:8] {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pipe.CloseSend(boom)
+
+	n := 0
+	err = Drain[record.Record](src, func(v record.Record) error {
+		if v != in[n] {
+			t.Fatalf("record %d differs", n)
+		}
+		n++
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("consumer error = %v, want the producer's", err)
+	}
+	if n != 8 {
+		t.Fatalf("consumer saw %d records before the error, want 8", n)
+	}
+	src.Close()
+	if pool.InUse() != 0 {
+		t.Fatalf("leaked %d frames", pool.InUse())
+	}
+}
+
+// TestTailPipeConsumerAbort unblocks a producer stuck in Notify when the
+// consumer goes away, handing it ErrPipeClosed so it can unwind.
+func TestTailPipeConsumerAbort(t *testing.T) {
+	pipe := NewTailPipe(1)
+	if err := pipe.Notify([]int64{0}, 4); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		got <- pipe.Notify([]int64{1}, 4) // pipe full: blocks until abort
+	}()
+	select {
+	case err := <-got:
+		t.Fatalf("notify returned %v before consumer closed", err)
+	case <-time.After(10 * time.Millisecond):
+	}
+	pipe.closeRecv()
+	select {
+	case err := <-got:
+		if !errors.Is(err, ErrPipeClosed) {
+			t.Fatalf("notify error = %v, want ErrPipeClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("notify still blocked after consumer closed")
+	}
+}

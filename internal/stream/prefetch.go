@@ -172,6 +172,10 @@ type AsyncWriter[T any] struct {
 	join     func() error // in-flight flush; nil when none
 	filled   int          // records buffered in cur
 	closed   bool
+
+	onFlush     FlushFunc // durable-progress observer; nil for plain writers
+	pendingAddr []int64   // addresses of the in-flight group, for onFlush
+	pendingRecs int       // records the in-flight group carries
 }
 
 // NewAsyncWriter creates a write-behind writer appending to f in batches of
@@ -201,12 +205,21 @@ func NewAsyncWriter[T any](f *File[T], pool *pdm.Pool, width int) (*AsyncWriter[
 }
 
 // joinFlush waits for the in-flight flush, if any, and reports its error.
+// Once the join returns clean the group is durable, so this is also the
+// point where the flush observer learns about it.
 func (w *AsyncWriter[T]) joinFlush() error {
 	if w.join == nil {
 		return nil
 	}
 	err := w.join()
 	w.join = nil
+	if err != nil {
+		return err
+	}
+	if w.onFlush != nil && w.pendingAddr != nil {
+		err = w.onFlush(w.pendingAddr, w.pendingRecs)
+	}
+	w.pendingAddr = nil
 	return err
 }
 
@@ -219,6 +232,7 @@ func (w *AsyncWriter[T]) dispatch() error {
 		return err
 	}
 	addrs, bufs := w.f.allocExtent(w.width, w.cur)
+	w.pendingAddr, w.pendingRecs = addrs, w.filled
 	w.cur, w.flushing = w.flushing, w.cur
 	w.filled = 0
 	w.join = w.f.vol.BatchWriteAsync(addrs, bufs)
@@ -257,6 +271,9 @@ func (w *AsyncWriter[T]) Close() error {
 		full := (w.filled + per - 1) / per
 		addrs, bufs := w.f.allocExtent(full, w.cur)
 		err = w.f.vol.BatchWrite(addrs, bufs)
+		if err == nil && w.onFlush != nil {
+			err = w.onFlush(addrs, w.filled)
+		}
 	}
 	pdm.ReleaseAll(w.cur)
 	pdm.ReleaseAll(w.flushing)

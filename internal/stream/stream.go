@@ -53,10 +53,37 @@ func OpenSource[T any](f *File[T], pool *pdm.Pool, width int, async bool) (Sourc
 // OpenSink opens a width-w writer appending to f: striped when async is
 // false, write-behind when true.
 func OpenSink[T any](f *File[T], pool *pdm.Pool, width int, async bool) (Sink[T], error) {
+	return OpenSinkNotify(f, pool, width, async, nil)
+}
+
+// FlushFunc observes a writer's durable progress: it is called with the
+// block addresses of each flushed group and the number of records buffered
+// when the group was cut, strictly in file order, only after the blocks are
+// safely on the volume (for a write-behind writer, after the group's join).
+// A non-nil error aborts the writer's current operation, which is how a
+// pipeline consumer that has gone away stops its producer. See TailPipe.
+type FlushFunc func(addrs []int64, recs int) error
+
+// OpenSinkNotify is OpenSink with a flush observer, the producer half of a
+// sort→consumer pipeline: fn learns, group by group, which prefix of f is
+// durable and may be read back. A nil fn is exactly OpenSink. It is meant
+// for writers that start on an empty file; with a partially filled file the
+// first notification would also cover the reloaded tail records.
+func OpenSinkNotify[T any](f *File[T], pool *pdm.Pool, width int, async bool, fn FlushFunc) (Sink[T], error) {
 	if async {
-		return NewAsyncWriter(f, pool, width)
+		w, err := NewAsyncWriter(f, pool, width)
+		if err != nil {
+			return nil, err
+		}
+		w.onFlush = fn
+		return w, nil
 	}
-	return NewStripedWriter(f, pool, width)
+	w, err := NewStripedWriter(f, pool, width)
+	if err != nil {
+		return nil, err
+	}
+	w.onFlush = fn
+	return w, nil
 }
 
 // File is a sequence of N records of type T stored in whole blocks on a
@@ -139,12 +166,13 @@ func (f *File[T]) allocExtent(n int, frames []*pdm.Frame) (addrs []int64, bufs [
 // Writer appends records to a File block by block. A width-w writer buffers
 // w blocks and flushes them as one parallel batch.
 type Writer[T any] struct {
-	f      *File[T]
-	pool   *pdm.Pool
-	frames []*pdm.Frame
-	width  int
-	filled int // records buffered across frames
-	closed bool
+	f       *File[T]
+	pool    *pdm.Pool
+	frames  []*pdm.Frame
+	width   int
+	filled  int // records buffered across frames
+	closed  bool
+	onFlush FlushFunc // durable-progress observer; nil for plain writers
 }
 
 // NewWriter creates a width-1 writer (one buffer frame).
@@ -202,7 +230,11 @@ func (w *Writer[T]) flush(nFrames int) error {
 	if err := w.f.vol.BatchWrite(addrs, bufs); err != nil {
 		return err
 	}
+	recs := w.filled
 	w.filled = 0
+	if w.onFlush != nil {
+		return w.onFlush(addrs, recs)
+	}
 	return nil
 }
 

@@ -1,0 +1,46 @@
+package em
+
+import (
+	"em/internal/pipeline"
+)
+
+// SortIndexOptions tunes SortIndex, the sort→bulk-load index builder.
+//
+// Width and Async apply to both stages (the sort's readers and writers and
+// the loader's input and leaf batches); WriteBehind batches the loader's
+// leaf writes D at a time through the async engine. The loader's whole
+// budget — CacheFrames for the buffer manager plus 4×Width stream frames
+// (input double buffer and write-behind double buffer, reserved whether or
+// not those modes are on) — is held back from the pool for the full
+// duration of the call, so the sort makes identical splitting decisions in
+// every mode combination at one width; size Config.MemBlocks to cover the
+// sort's fan-out plus that reservation.
+type SortIndexOptions = pipeline.Options
+
+// SortIndex builds a B+-tree index over an unsorted record file: a
+// distribution sort into key order followed by a bottom-up bulk load —
+// Θ(Sort(N)) I/Os end to end, the survey's index-construction bound.
+//
+// With SortIndexOptions.Pipeline the two stages run concurrently: the
+// sort's output writer announces each durable block group through a bounded
+// pipe (smallest key ranges first, because the distribution recursion
+// finishes its buckets in key order), and the loader reads those groups and
+// packs leaves while later buckets are still being split. With WriteBehind
+// the leaves leave through D-block batches on the async engine rather than
+// one cache write-back at a time. Counted reads and writes are identical
+// across all mode combinations at one width — the modes trade pool frames
+// for wall-clock overlap, never transfers — a property the test suite pins
+// down on both storage backends.
+//
+// Keys must be distinct: the tree is a map and the bulk loader rejects a
+// non-strictly-increasing sorted stream with ErrUnsortedInput.
+//
+// The sorted intermediate file is released before returning; the returned
+// tree's buffer manager draws CacheFrames frames from pool. On any error
+// during the build the pool is restored exactly and no blocks are leaked;
+// the one exception is a backend write failure while flushing the finished
+// tree at the final rehoming step, where the error is returned and the
+// already-written nodes stay on the volume.
+func SortIndex(f *File[Record], pool *Pool, opts *SortIndexOptions) (*BTree, error) {
+	return pipeline.SortIndex(f, pool, opts)
+}

@@ -1,0 +1,177 @@
+package em
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// sortIndexConfig is the device shape shared by the SortIndex tests: 16
+// records per block, enough memory for the sort's fan-out beside the
+// loader's reserved budget, four disks with a small service latency so the
+// pipeline genuinely overlaps on the worker engine.
+var sortIndexConfig = Config{BlockBytes: 256, MemBlocks: 64, Disks: 4, DiskLatency: 10 * time.Microsecond}
+
+// permRecords produces n records with distinct shuffled keys.
+func permRecords(seed int64, n int) []Record {
+	rng := rand.New(rand.NewSource(seed))
+	vs := make([]Record, n)
+	for i, k := range rng.Perm(n) {
+		vs[i] = Record{Key: uint64(k + 1), Val: uint64(i)}
+	}
+	return vs
+}
+
+// buildSortIndex runs SortIndex on a fresh volume and returns the tree's
+// contents and the Stats the whole build (tree closed) charged.
+func buildSortIndex(t *testing.T, dir string, vs []Record, opts *SortIndexOptions) ([][2]uint64, Stats) {
+	t.Helper()
+	cfg := sortIndexConfig
+	cfg.Dir = dir
+	vol, err := NewVolume(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vol.Close()
+	pool := PoolFor(vol)
+	f, err := FromSlice(vol, pool, RecordCodec{}, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol.Stats().Reset()
+	tr, err := SortIndex(f, pool, opts)
+	if err != nil {
+		t.Fatalf("opts=%+v: %v", opts, err)
+	}
+	var kvs [][2]uint64
+	if err := tr.Range(0, ^uint64(0), func(k, v uint64) error {
+		kvs = append(kvs, [2]uint64{k, v})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if pool.InUse() != 0 {
+		t.Fatalf("opts=%+v: leaked %d frames", opts, pool.InUse())
+	}
+	return kvs, vol.Stats().Snapshot()
+}
+
+// TestSortIndexPipelineMatchesSequential is the pipeline==sequential
+// quick-check on both backends: for each stream mode, the pipelined build
+// must produce the identical final tree at identical counted reads and
+// writes — overlapping the loader with the sort moves wall-clock time, not
+// transfers. Write-behind must not change the counts either.
+func TestSortIndexPipelineMatchesSequential(t *testing.T) {
+	n := 4000
+	vs := permRecords(0x51D, n)
+	for _, backend := range []string{"mem", "file"} {
+		t.Run(backend, func(t *testing.T) {
+			dir := ""
+			if backend == "file" {
+				dir = t.TempDir()
+			}
+			for _, async := range []bool{false, true} {
+				// All four (WriteBehind, Pipeline) combinations of one
+				// stream mode must agree on reads, writes, and contents.
+				var refKVs [][2]uint64
+				var refSt Stats
+				for i, mode := range []*SortIndexOptions{
+					{Width: 2, Async: async},
+					{Width: 2, Async: async, WriteBehind: true},
+					{Width: 2, Async: async, Pipeline: true},
+					{Width: 2, Async: async, WriteBehind: true, Pipeline: true},
+				} {
+					kvs, st := buildSortIndex(t, dir, vs, mode)
+					if len(kvs) != n {
+						t.Fatalf("opts=%+v: tree has %d records, want %d", mode, len(kvs), n)
+					}
+					for j, kv := range kvs {
+						if kv[0] != uint64(j+1) {
+							t.Fatalf("opts=%+v: key %d out of place", mode, kv[0])
+						}
+					}
+					if i == 0 {
+						refKVs, refSt = kvs, st
+						continue
+					}
+					for j := range kvs {
+						if kvs[j] != refKVs[j] {
+							t.Fatalf("opts=%+v: entry %d differs from sequential build", mode, j)
+						}
+					}
+					if st.Reads != refSt.Reads || st.Writes != refSt.Writes {
+						t.Fatalf("opts=%+v: counted I/Os diverge: got r=%d w=%d, sequential r=%d w=%d",
+							mode, st.Reads, st.Writes, refSt.Reads, refSt.Writes)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSortIndexBackendsAgree pins the mem==file invariant for the pipeline:
+// the same build on the file backend charges exactly the reads and writes
+// the in-memory simulation counts.
+func TestSortIndexBackendsAgree(t *testing.T) {
+	vs := permRecords(0xBEEF, 3000)
+	opts := &SortIndexOptions{Width: 4, Async: true, WriteBehind: true, Pipeline: true}
+	memKVs, memSt := buildSortIndex(t, "", vs, opts)
+	fileKVs, fileSt := buildSortIndex(t, t.TempDir(), vs, opts)
+	if len(memKVs) != len(fileKVs) {
+		t.Fatalf("tree sizes diverge: mem %d file %d", len(memKVs), len(fileKVs))
+	}
+	for i := range memKVs {
+		if memKVs[i] != fileKVs[i] {
+			t.Fatalf("entry %d differs across backends", i)
+		}
+	}
+	if memSt.Reads != fileSt.Reads || memSt.Writes != fileSt.Writes {
+		t.Fatalf("counted I/Os diverge: mem r=%d w=%d, file r=%d w=%d",
+			memSt.Reads, fileSt.Reads, memSt.Writes, fileSt.Writes)
+	}
+}
+
+// TestSortIndexDuplicateKeysRestoresPool injects the loader's rejection —
+// duplicate keys surface as ErrUnsortedInput mid-build — into both modes
+// and asserts the error unwinds the whole pipeline: the producer is
+// unblocked and aborts, the pool is exactly restored, and no volume blocks
+// are stranded.
+func TestSortIndexDuplicateKeysRestoresPool(t *testing.T) {
+	vs := permRecords(7, 4000)
+	vs[1234].Key = vs[3210].Key
+	for _, pipeline := range []bool{false, true} {
+		vol, err := NewVolume(sortIndexConfig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool := PoolFor(vol)
+		f, err := FromSlice(vol, pool, RecordCodec{}, vs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		preFree := pool.Free()
+		preLive := vol.Allocated() - vol.FreeBlocks()
+		tr, err := SortIndex(f, pool, &SortIndexOptions{Width: 2, Async: true, WriteBehind: true, Pipeline: pipeline})
+		if err == nil {
+			t.Fatalf("pipeline=%v: duplicate keys built a tree", pipeline)
+		}
+		if !errors.Is(err, ErrUnsortedInput) {
+			t.Fatalf("pipeline=%v: error %v, want ErrUnsortedInput", pipeline, err)
+		}
+		if tr != nil {
+			t.Fatalf("pipeline=%v: error return kept a tree", pipeline)
+		}
+		if pool.Free() != preFree || pool.InUse() != 0 {
+			t.Fatalf("pipeline=%v: pool not restored: free %d (pre %d), in use %d",
+				pipeline, pool.Free(), preFree, pool.InUse())
+		}
+		if live := vol.Allocated() - vol.FreeBlocks(); live != preLive {
+			t.Fatalf("pipeline=%v: stranded %d volume blocks", pipeline, live-preLive)
+		}
+		vol.Close()
+	}
+}
