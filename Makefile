@@ -34,17 +34,20 @@ cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -1
 
-# Engine and experiment benchmarks (wall-clock + counted I/Os).
+# Engine and experiment benchmarks (wall-clock + counted I/Os). The full
+# suite — every experiment table plus the engine, async, and query-serving
+# benchmarks — runs; -benchtime 3x keeps each at three iterations.
 bench:
-	$(GO) test -run xxx -bench 'BenchmarkVolumeBatchRead|BenchmarkAsync' -benchtime 3x .
+	$(GO) test -run xxx -bench . -benchtime 3x .
 
-# Machine-readable benchmark trajectory: sync vs async sort/bulk-load plus
-# the write-behind and pipelined sort→index modes at D in {1,4}, wall-clock
-# and counted I/Os, written to BENCH_PR4.json. Committed once per PR so perf
-# history accumulates as a diffable series (BENCH_PR3.json is the previous
-# point).
+# Machine-readable benchmark trajectory: sync vs async sort/bulk-load, the
+# write-behind and pipelined sort→index modes, and the query-serving points
+# (looped vs batched lookups, sync vs prefetched scans) at D in {1,4},
+# wall-clock and counted I/Os, written to BENCH_PR5.json. Committed once per
+# PR so perf history accumulates as a diffable series (BENCH_PR3/PR4.json
+# are the previous points).
 bench-json:
-	$(GO) run ./cmd/embench -json BENCH_PR4.json
-	@cat BENCH_PR4.json
+	$(GO) run ./cmd/embench -json BENCH_PR5.json
+	@cat BENCH_PR5.json
 
 ci: build vet race

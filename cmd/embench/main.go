@@ -18,9 +18,13 @@
 // meaningful too: every experiment prints its elapsed time, F9 sweeps the
 // engine itself (elapsed ms falling ×D at constant block count, and
 // forecasting prefetch overlapping compute with I/O), F10 extends the
-// forecasting comparison to distribution sort and B-tree bulk loading, and
-// F11 covers the write side — write-behind leaf batching and the pipelined
-// sort→index build against their synchronous twins.
+// forecasting comparison to distribution sort and B-tree bulk loading, F11
+// covers the write side — write-behind leaf batching and the pipelined
+// sort→index build against their synchronous twins — and F12 the read side:
+// batched point lookups, prefetched range scans, and concurrent read
+// sessions against one-at-a-time serving, on both storage backends. F12
+// checks its own acceptance gates and fails (non-zero exit) when one is
+// missed, so CI can gate on the query-serving sweep.
 //
 // With -dir every experiment volume maps its simulated disks to real files
 // under the given directory (one numbered subdirectory per volume), so the
@@ -28,8 +32,9 @@
 //
 // With -json the catalogue is skipped; instead the benchmark trajectory —
 // sync vs async merge sort, distribution sort, B-tree bulk load (plus its
-// write-behind mode) and the sequential vs pipelined sort→index build at
-// D ∈ {1, 4}, wall-clock and counted I/Os — is written to the given file
+// write-behind mode), the sequential vs pipelined sort→index build, and
+// the query-serving points (looped vs batched lookups, sync vs prefetched
+// scans) at D ∈ {1, 4}, wall-clock and counted I/Os — is written to the given file
 // (the repository commits these as BENCH_*.json, one per PR, so perf
 // regressions show up as a diffable series; `make bench-json` regenerates
 // the current one).
@@ -180,6 +185,12 @@ var catalogue = []experiment{
 			return experiments.F11WriteBehind(1<<13, []int{1, 4}, 2*time.Millisecond)
 		}
 		return experiments.F11WriteBehind(1<<13, []int{1, 2, 4, 8}, 2*time.Millisecond)
+	}},
+	{"F12", "query serving: batched lookups dedupe and fan reads across D; prefetched scans and sessions scale", func(q bool) (*experiments.Table, error) {
+		if q {
+			return experiments.F12QueryServing(1<<12, []int{1, 4}, 2*time.Millisecond)
+		}
+		return experiments.F12QueryServing(1<<13, []int{1, 2, 4, 8}, 2*time.Millisecond)
 	}},
 }
 

@@ -1,0 +1,304 @@
+package em_test
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"em"
+)
+
+// queryEnv creates a volume on the requested backend and a tree over a
+// shuffled permutation of keys 1..n (distinct, so SortIndex/BulkLoad
+// accept it), returning the sorted key list for reference checks.
+func queryEnv(t *testing.T, backend string, seed int64, n, disks int) (*em.Volume, *em.Pool, *em.BTree, []uint64) {
+	t.Helper()
+	cfg := em.Config{BlockBytes: 256, MemBlocks: 96, Disks: disks}
+	var vol *em.Volume
+	var err error
+	if backend == "file" {
+		vol, err = em.NewFileVolume(cfg, t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		vol = em.MustVolume(cfg)
+	}
+	pool := em.PoolFor(vol)
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]em.Record, n)
+	keys := make([]uint64, n)
+	for i := range recs {
+		k := uint64(i+1) * 3
+		recs[i] = em.Record{Key: k, Val: k + 7}
+		keys[i] = k
+	}
+	rng.Shuffle(n, func(i, j int) { recs[i], recs[j] = recs[j], recs[i] })
+	f, err := em.FromSlice(vol, pool, em.RecordCodec{}, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted, err := em.SortRecords(f, pool, &em.SortOptions{Width: disks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := em.BulkLoadBTreeWith(vol, pool, 8, sorted, &em.BulkLoadOptions{Width: disks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vol, pool, tr, keys
+}
+
+// TestQuickGetBatchMatchesGetLoop is the read-path acceptance property at
+// the facade level, the GetBatch analogue of TestQuickBackendCountersIdentical:
+// across random batch sizes, tree heights, and both storage backends,
+// GetBatch from a cold cache returns exactly what a loop of Gets returns
+// and counts no more block reads.
+func TestQuickGetBatchMatchesGetLoop(t *testing.T) {
+	for _, backend := range []string{"mem", "file"} {
+		t.Run(backend, func(t *testing.T) {
+			prop := func(seedRaw uint32, nRaw, qRaw uint16, disksRaw uint8) bool {
+				seed := int64(seedRaw)
+				n := 16 + int(nRaw)%2500
+				q := 1 + int(qRaw)%800
+				disks := 1 + int(disksRaw)%4
+				vol, pool, tr, _ := queryEnv(t, backend, seed, n, disks)
+				defer vol.Close()
+
+				rng := rand.New(rand.NewSource(seed + 1))
+				probes := make([]uint64, q)
+				for i := range probes {
+					probes[i] = uint64(rng.Intn(3*n + 6))
+				}
+
+				if err := tr.Rehome(pool, 8); err != nil {
+					t.Fatal(err)
+				}
+				vol.Stats().Reset()
+				loopVals := make([]uint64, q)
+				loopFound := make([]bool, q)
+				for i, k := range probes {
+					v, ok, err := tr.Get(k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					loopVals[i], loopFound[i] = v, ok
+				}
+				loopReads := vol.Stats().Snapshot().Reads
+
+				if err := tr.Rehome(pool, 8); err != nil {
+					t.Fatal(err)
+				}
+				vol.Stats().Reset()
+				vals, found, err := tr.GetBatch(probes)
+				if err != nil {
+					t.Fatal(err)
+				}
+				batchReads := vol.Stats().Snapshot().Reads
+
+				for i := range probes {
+					if vals[i] != loopVals[i] || found[i] != loopFound[i] {
+						t.Logf("%s n=%d q=%d probe %d: batch (%d,%v) loop (%d,%v)",
+							backend, n, q, probes[i], vals[i], found[i], loopVals[i], loopFound[i])
+						return false
+					}
+				}
+				if batchReads > loopReads {
+					t.Logf("%s n=%d q=%d D=%d: batch %d reads > loop %d",
+						backend, n, q, disks, batchReads, loopReads)
+					return false
+				}
+				if err := tr.Close(); err != nil {
+					t.Fatal(err)
+				}
+				if pool.InUse() != 0 {
+					t.Fatalf("frame leak: %d", pool.InUse())
+				}
+				return true
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 6}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestQuickMinMaxMatchReference: Min and Max agree with a sorted reference
+// slice across random insert/delete histories, on both storage backends.
+func TestQuickMinMaxMatchReference(t *testing.T) {
+	for _, backend := range []string{"mem", "file"} {
+		t.Run(backend, func(t *testing.T) {
+			prop := func(seedRaw uint32, nRaw uint16) bool {
+				seed := int64(seedRaw)
+				n := int(nRaw)%800 + 1
+				cfg := em.Config{BlockBytes: 256, MemBlocks: 64, Disks: 2}
+				var vol *em.Volume
+				var err error
+				if backend == "file" {
+					vol, err = em.NewFileVolume(cfg, t.TempDir())
+					if err != nil {
+						t.Fatal(err)
+					}
+				} else {
+					vol = em.MustVolume(cfg)
+				}
+				defer vol.Close()
+				pool := em.PoolFor(vol)
+				tr, err := em.NewBTree(vol, pool, 8)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rng := rand.New(rand.NewSource(seed))
+				live := map[uint64]uint64{}
+				check := func() bool {
+					ref := make([]uint64, 0, len(live))
+					for k := range live {
+						ref = append(ref, k)
+					}
+					sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+					mink, minv, minOK, err := tr.Min()
+					if err != nil {
+						t.Fatal(err)
+					}
+					maxk, maxv, maxOK, err := tr.Max()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(ref) == 0 {
+						return !minOK && !maxOK
+					}
+					return minOK && maxOK &&
+						mink == ref[0] && minv == live[ref[0]] &&
+						maxk == ref[len(ref)-1] && maxv == live[ref[len(ref)-1]]
+				}
+				if !check() { // empty tree
+					return false
+				}
+				for i := 0; i < n; i++ {
+					k := uint64(rng.Intn(200))
+					if rng.Intn(3) == 0 {
+						if _, err := tr.Delete(k); err != nil {
+							t.Fatal(err)
+						}
+						delete(live, k)
+					} else {
+						v := uint64(i)
+						if _, err := tr.Insert(k, v); err != nil {
+							t.Fatal(err)
+						}
+						live[k] = v
+					}
+					if i%37 == 0 && !check() {
+						return false
+					}
+				}
+				ok := check()
+				if err := tr.Close(); err != nil {
+					t.Fatal(err)
+				}
+				return ok
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 8}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestFacadeScannerAndSessions drives the serving surface end to end
+// through the public API on the file backend: a prefetched scan equals
+// Range record for record at no extra reads, and concurrent sessions
+// answer correctly.
+func TestFacadeScannerAndSessions(t *testing.T) {
+	vol, pool, tr, keys := queryEnv(t, "file", 99, 3000, 4)
+	defer vol.Close()
+	if err := tr.Rehome(pool, 32); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Warm(); err != nil {
+		t.Fatal(err)
+	}
+
+	lo, hi := keys[100], keys[2500]
+	vol.Stats().Reset()
+	var got []uint64
+	if err := tr.RangePrefetch(pool, lo, hi, nil, func(k, v uint64) error {
+		if v != k+7 {
+			t.Fatalf("value mismatch at %d", k)
+		}
+		got = append(got, k)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	scanReads := vol.Stats().Snapshot().Reads
+
+	vol.Stats().Reset()
+	var want []uint64
+	if err := tr.Range(lo, hi, func(k, v uint64) error {
+		want = append(want, k)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rangeReads := vol.Stats().Snapshot().Reads
+
+	if len(got) != len(want) || len(got) != 2401 {
+		t.Fatalf("scan %d records, range %d, want 2401", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: scan %d range %d", i, got[i], want[i])
+		}
+	}
+	if scanReads > rangeReads {
+		t.Fatalf("prefetched scan %d reads > range %d", scanReads, rangeReads)
+	}
+
+	s1, err := tr.NewSession(pool, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := tr.NewSession(pool, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 2)
+	for i, s := range []*em.BTreeSession{s1, s2} {
+		go func(i int, s *em.BTreeSession) {
+			probes := make([]uint64, 64)
+			for j := range probes {
+				probes[j] = keys[(i*997+j*31)%len(keys)]
+			}
+			vals, found, err := s.GetBatch(probes)
+			if err != nil {
+				done <- err
+				return
+			}
+			for j, k := range probes {
+				if !found[j] || vals[j] != k+7 {
+					t.Errorf("session %d: key %d -> %d,%v", i, k, vals[j], found[j])
+				}
+			}
+			done <- nil
+		}(i, s)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if pool.InUse() != 0 {
+		t.Fatalf("frame leak: %d", pool.InUse())
+	}
+}

@@ -153,24 +153,44 @@ func bufSetLeafKV(b []byte, i int, k, v uint64) {
 	binary.LittleEndian.PutUint64(b[offData+16*i+8:], v)
 }
 
+func bufCount(b []byte) int      { return int(binary.LittleEndian.Uint16(b[offCount:])) }
+func bufNextLeaf(b []byte) int64 { return int64(binary.LittleEndian.Uint64(b[offNext:])) }
+func bufLeafKey(b []byte, i int) uint64 {
+	return binary.LittleEndian.Uint64(b[offData+16*i:])
+}
+func bufLeafVal(b []byte, i int) uint64 {
+	return binary.LittleEndian.Uint64(b[offData+16*i+8:])
+}
+
+// bufSearchLeafSlot returns the index of the first leaf key >= k in a raw
+// leaf image.
+func bufSearchLeafSlot(b []byte, k uint64) int {
+	lo, hi := 0, bufCount(b)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bufLeafKey(b, mid) < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 func isLeaf(p *cache.Page) bool { return binary.LittleEndian.Uint16(p.Buf[offFlags:])&flagLeaf != 0 }
-func count(p *cache.Page) int   { return int(binary.LittleEndian.Uint16(p.Buf[offCount:])) }
+func count(p *cache.Page) int   { return bufCount(p.Buf) }
 func setCount(p *cache.Page, n int) {
 	bufSetCount(p.Buf, n)
 	p.MarkDirty()
 }
-func nextLeaf(p *cache.Page) int64 { return int64(binary.LittleEndian.Uint64(p.Buf[offNext:])) }
+func nextLeaf(p *cache.Page) int64 { return bufNextLeaf(p.Buf) }
 func setNextLeaf(p *cache.Page, a int64) {
 	bufSetNextLeaf(p.Buf, a)
 	p.MarkDirty()
 }
 
-func leafKey(p *cache.Page, i int) uint64 {
-	return binary.LittleEndian.Uint64(p.Buf[offData+16*i:])
-}
-func leafVal(p *cache.Page, i int) uint64 {
-	return binary.LittleEndian.Uint64(p.Buf[offData+16*i+8:])
-}
+func leafKey(p *cache.Page, i int) uint64 { return bufLeafKey(p.Buf, i) }
+func leafVal(p *cache.Page, i int) uint64 { return bufLeafVal(p.Buf, i) }
 func setLeafKV(p *cache.Page, i int, k, v uint64) {
 	bufSetLeafKV(p.Buf, i, k, v)
 	p.MarkDirty()
@@ -221,18 +241,7 @@ func (t *Tree) newNodeAt(addr int64, leaf bool) (*cache.Page, error) {
 }
 
 // searchLeafSlot returns the index of the first leaf key >= k.
-func searchLeafSlot(p *cache.Page, k uint64) int {
-	lo, hi := 0, count(p)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if leafKey(p, mid) < k {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo
-}
+func searchLeafSlot(p *cache.Page, k uint64) int { return bufSearchLeafSlot(p.Buf, k) }
 
 // searchChildSlot returns the child index to descend into for key k: the
 // number of separator keys <= k.
@@ -251,20 +260,26 @@ func searchChildSlot(p *cache.Page, k uint64) int {
 
 // Get returns the value stored under key.
 func (t *Tree) Get(key uint64) (uint64, bool, error) {
+	return t.getWith(t.cache, key)
+}
+
+// getWith is Get through an explicit buffer manager, shared between the
+// tree's own cache and read Sessions' private ones.
+func (t *Tree) getWith(c *cache.Cache, key uint64) (uint64, bool, error) {
 	addr := t.root
 	for level := t.height; level > 1; level-- {
-		p, err := t.cache.Get(addr)
+		p, err := c.Get(addr)
 		if err != nil {
 			return 0, false, err
 		}
 		addr = t.child(p, searchChildSlot(p, key))
-		t.cache.Unpin(p)
+		c.Unpin(p)
 	}
-	p, err := t.cache.Get(addr)
+	p, err := c.Get(addr)
 	if err != nil {
 		return 0, false, err
 	}
-	defer t.cache.Unpin(p)
+	defer c.Unpin(p)
 	i := searchLeafSlot(p, key)
 	if i < count(p) && leafKey(p, i) == key {
 		return leafVal(p, i), true, nil
@@ -468,4 +483,32 @@ func (t *Tree) Min() (uint64, uint64, bool, error) {
 		return 0, 0, false, nil
 	}
 	return leafKey(p, 0), leafVal(p, 0), true, nil
+}
+
+// Max returns the largest key and its value, Min's right-edge mirror: it
+// descends the last child at every level and reads the rightmost leaf's
+// last slot, Θ(log_B N) I/Os.
+func (t *Tree) Max() (uint64, uint64, bool, error) {
+	if t.n == 0 {
+		return 0, 0, false, nil
+	}
+	addr := t.root
+	for level := t.height; level > 1; level-- {
+		p, err := t.cache.Get(addr)
+		if err != nil {
+			return 0, 0, false, err
+		}
+		addr = t.child(p, count(p))
+		t.cache.Unpin(p)
+	}
+	p, err := t.cache.Get(addr)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	defer t.cache.Unpin(p)
+	n := count(p)
+	if n == 0 {
+		return 0, 0, false, nil
+	}
+	return leafKey(p, n-1), leafVal(p, n-1), true, nil
 }

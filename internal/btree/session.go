@@ -1,0 +1,103 @@
+package btree
+
+import (
+	"fmt"
+
+	"em/internal/cache"
+	"em/internal/pdm"
+)
+
+// Session is a read-only query handle over a shared tree. Each session owns
+// a private buffer manager and a private frame budget, reserved from the
+// caller's pool up front the way em.SortIndex reserves its loader's budget,
+// so G sessions on G goroutines serve a mixed point/range workload against
+// one tree — the volume's per-disk engine overlaps their transfers — while
+// the memory bound M still holds and no session can starve another
+// mid-query. Sessions never dirty a page and never touch the tree's own
+// cache, so they cannot evict a writer's pinned working set. Two
+// constraints: sessions must not overlap tree mutations (Insert, Delete,
+// BulkLoad — the usual reader rule), and NewSession itself is a Tree
+// method like any other — it flushes the tree's own cache — so open
+// sessions from the tree owner's goroutine and hand them out; only the
+// Session methods are safe to run concurrently, each session from its own
+// goroutine.
+type Session struct {
+	t       *Tree
+	cache   *cache.Cache
+	pool    *pdm.Pool    // private pool serving the cache and scanners
+	reserve []*pdm.Frame // frames held from the caller's pool
+	width   int
+}
+
+// NewSession opens a read session whose buffer manager holds cacheFrames
+// pages and whose scanners may keep up to width leaf reads in flight
+// (width < 1 selects the volume's disk count). The session's whole budget —
+// cacheFrames + 2×width frames — is reserved from pool immediately and
+// returned by Close, so admission failures surface at open, not mid-query.
+func (t *Tree) NewSession(pool *pdm.Pool, cacheFrames, width int) (*Session, error) {
+	if cacheFrames < 3 {
+		return nil, fmt.Errorf("btree: session cache needs >= 3 frames, got %d", cacheFrames)
+	}
+	if width < 1 {
+		width = t.vol.Disks()
+	}
+	// A session reads through its own buffer manager, so the volume — not
+	// the tree's cache — must hold the current tree: flush any node still
+	// dirty from construction or updates before the first session descent.
+	if err := t.cache.Flush(); err != nil {
+		return nil, err
+	}
+	budget := cacheFrames + 2*width
+	reserve, err := pool.AllocN(budget)
+	if err != nil {
+		return nil, err
+	}
+	priv := pdm.NewPool(t.vol.BlockBytes(), budget)
+	c, err := cache.New(t.vol, priv, cacheFrames)
+	if err != nil {
+		pdm.ReleaseAll(reserve)
+		return nil, err
+	}
+	return &Session{t: t, cache: c, pool: priv, reserve: reserve, width: width}, nil
+}
+
+// Tree returns the tree the session reads.
+func (s *Session) Tree() *Tree { return s.t }
+
+// CacheStats exposes the session's private buffer-manager counters.
+func (s *Session) CacheStats() cache.CacheStats { return s.cache.Stats() }
+
+// Get is Tree.Get through the session's cache.
+func (s *Session) Get(key uint64) (uint64, bool, error) {
+	return s.t.getWith(s.cache, key)
+}
+
+// GetBatch is Tree.GetBatch through the session's cache: sorted, deduped,
+// level-batched lookups at reads never above a loop of session Gets.
+func (s *Session) GetBatch(keys []uint64) ([]uint64, []bool, error) {
+	return s.t.getBatch(s.cache, keys)
+}
+
+// NewScanner opens a prefetched range scan served from the session's cache
+// and frame budget. A nil opts — or a width above the session's — scans at
+// the session's width, which is what the budget reserves for.
+func (s *Session) NewScanner(lo, hi uint64, opts *ScanOptions) (*Scanner, error) {
+	w := opts.width(s.width)
+	if w > s.width {
+		w = s.width
+	}
+	return s.t.newScanner(s.cache, s.pool, lo, hi, &ScanOptions{Width: w})
+}
+
+// Warm is Tree.Warm into the session's private cache.
+func (s *Session) Warm() error { return s.t.warmWith(s.cache) }
+
+// Close releases the session's cache and returns its reserved frames to
+// the pool it was opened on. The cache holds only clean pages, so nothing
+// is written back.
+func (s *Session) Close() error {
+	err := s.cache.Close()
+	pdm.ReleaseAll(s.reserve)
+	s.reserve = nil
+	return err
+}

@@ -78,13 +78,22 @@ func (c *Cache) Stats() CacheStats { return c.stats }
 // Len returns the number of resident pages.
 func (c *Cache) Len() int { return len(c.pages) }
 
+// Capacity returns the frame budget the cache was created with.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// hit records a cache hit on p and pins it — the shared bookkeeping of
+// every path that finds a resident page.
+func (c *Cache) hit(p *Page) {
+	c.stats.Hits++
+	p.pins++
+	c.lru.MoveToFront(p.elem)
+}
+
 // Get pins block addr, reading it from the volume on a miss. Every Get must
 // be paired with an Unpin.
 func (c *Cache) Get(addr int64) (*Page, error) {
 	if p, ok := c.pages[addr]; ok {
-		c.stats.Hits++
-		p.pins++
-		c.lru.MoveToFront(p.elem)
+		c.hit(p)
 		return p, nil
 	}
 	c.stats.Misses++
@@ -103,11 +112,9 @@ func (c *Cache) Get(addr int64) (*Page, error) {
 // whose on-disk contents are irrelevant. The page starts zeroed and dirty.
 func (c *Cache) GetNew(addr int64) (*Page, error) {
 	if p, ok := c.pages[addr]; ok {
-		c.stats.Hits++
-		p.pins++
+		c.hit(p)
 		p.dirty = true
 		clear(p.Buf)
-		c.lru.MoveToFront(p.elem)
 		return p, nil
 	}
 	c.stats.Misses++
@@ -118,6 +125,92 @@ func (c *Cache) GetNew(addr int64) (*Page, error) {
 	clear(p.Buf)
 	p.dirty = true
 	return p, nil
+}
+
+// Peek pins block addr if it is resident and returns nil — performing no
+// I/O and admitting nothing — when it is not. It is the cache-residency
+// probe behind the B-tree scanner's forecasting: upcoming leaf addresses are
+// taken from parent nodes only while those parents are actually in memory,
+// so forecasting never charges a block read the synchronous path would not.
+func (c *Cache) Peek(addr int64) *Page {
+	p, ok := c.pages[addr]
+	if !ok {
+		return nil
+	}
+	c.hit(p)
+	return p
+}
+
+// GetBatchAsync pins every block of addrs — cache hits immediately, misses
+// through one batched read dispatched on the volume's async engine — and
+// returns the pinned pages aligned with addrs plus the batch's join. Hit
+// pages are valid at once; miss pages hold their block's bytes only after
+// join returns nil. This is read-only admission: no page is marked dirty,
+// and making room evicts only unpinned pages (as always), so a concurrent
+// writer's pinned working set is never disturbed. The caller must Unpin
+// every page after a nil join; if the dispatch or the join fails, the cache
+// has already unpinned everything and dropped the unfilled pages — the
+// returned pages must not be used.
+//
+// The caller must keep len(addrs) below the cache capacity (the batch is
+// pinned as a whole); duplicate addresses are allowed and share one page.
+func (c *Cache) GetBatchAsync(addrs []int64) ([]*Page, func() error, error) {
+	pages := make([]*Page, len(addrs))
+	var miss []int
+	for i, a := range addrs {
+		if p, ok := c.pages[a]; ok {
+			c.hit(p)
+			pages[i] = p
+			continue
+		}
+		c.stats.Misses++
+		p, err := c.admit(a)
+		if err != nil {
+			c.failBatch(pages[:i], miss)
+			return nil, nil, err
+		}
+		pages[i] = p
+		miss = append(miss, i)
+	}
+	if len(miss) == 0 {
+		return pages, func() error { return nil }, nil
+	}
+	mAddrs := make([]int64, len(miss))
+	mBufs := make([][]byte, len(miss))
+	for k, i := range miss {
+		mAddrs[k] = addrs[i]
+		mBufs[k] = pages[i].Buf
+	}
+	join := c.vol.BatchReadAsync(mAddrs, mBufs)
+	return pages, func() error {
+		err := join()
+		if err != nil {
+			c.failBatch(pages, miss)
+		}
+		return err
+	}, nil
+}
+
+// failBatch unwinds a failed GetBatchAsync: every page loses the batch's
+// pin, and the pages admitted for reads that never completed — which hold
+// no valid block image — are dropped so a later Get cannot hit garbage.
+// Miss pages are admitted clean, so discarding writes nothing back.
+func (c *Cache) failBatch(pages []*Page, miss []int) {
+	for _, p := range pages {
+		if p.pins <= 0 {
+			panic("cache: unpin of unpinned page")
+		}
+		p.pins--
+	}
+	for _, i := range miss {
+		if i >= len(pages) {
+			break
+		}
+		if p := pages[i]; p.pins == 0 {
+			p.dirty = false
+			c.discard(p)
+		}
+	}
 }
 
 // admit makes room if needed and installs a pinned page for addr.

@@ -310,3 +310,138 @@ func TestWorkingSetRefsShape(t *testing.T) {
 		t.Fatalf("expected ~70%% hot references, got %d/1000", hot)
 	}
 }
+
+func TestGetBatchAsyncHitsMissesAndDuplicates(t *testing.T) {
+	vol, pool := newEnv(t)
+	addr := vol.Alloc(4)
+	buf := make([]byte, 32)
+	for i := int64(0); i < 4; i++ {
+		buf[0] = byte(10 + i)
+		if err := vol.WriteBlock(addr+i, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := New(vol, pool, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-cache one block so the batch mixes a hit with misses.
+	p, err := c.Get(addr + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Unpin(p)
+	vol.Stats().Reset()
+
+	pages, join, err := c.GetBatchAsync([]int64{addr, addr + 1, addr + 3, addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := join(); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []byte{10, 11, 13, 10} {
+		if pages[i].Buf[0] != want {
+			t.Fatalf("page %d holds %d, want %d", i, pages[i].Buf[0], want)
+		}
+	}
+	if pages[0] != pages[3] {
+		t.Fatal("duplicate address did not share one page")
+	}
+	// One read for each distinct miss; the hit and the duplicate are free.
+	if reads := vol.Stats().Snapshot().Reads; reads != 2 {
+		t.Fatalf("batch cost %d reads, want 2", reads)
+	}
+	for _, p := range pages {
+		c.Unpin(p)
+	}
+	// Read-only admission: closing writes nothing back.
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if writes := vol.Stats().Snapshot().Writes; writes != 0 {
+		t.Fatalf("read-only batch wrote %d blocks back", writes)
+	}
+	if pool.InUse() != 0 {
+		t.Fatalf("frame leak: %d", pool.InUse())
+	}
+}
+
+func TestGetBatchAsyncRespectsPins(t *testing.T) {
+	vol, pool := newEnv(t)
+	addr := vol.Alloc(6)
+	zero := make([]byte, 32)
+	for i := int64(0); i < 6; i++ {
+		if err := vol.WriteBlock(addr+i, zero); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := New(vol, pool, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A pinned (dirty) writer page must survive a batch that fills the rest
+	// of the cache...
+	w, err := c.Get(addr + 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.MarkDirty()
+	pages, join, err := c.GetBatchAsync([]int64{addr, addr + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := join(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pages {
+		c.Unpin(p)
+	}
+	// ...and a batch that cannot make room without evicting it must fail
+	// cleanly rather than touch it.
+	if _, _, err := c.GetBatchAsync([]int64{addr + 2, addr + 3, addr + 4}); err == nil {
+		t.Fatal("over-capacity batch against a pinned page succeeded")
+	}
+	c.Unpin(w)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if pool.InUse() != 0 {
+		t.Fatalf("frame leak: %d", pool.InUse())
+	}
+}
+
+func TestPeekPinsResidentOnly(t *testing.T) {
+	vol, pool := newEnv(t)
+	addr := vol.Alloc(2)
+	zero := make([]byte, 32)
+	for i := int64(0); i < 2; i++ {
+		if err := vol.WriteBlock(addr+i, zero); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := New(vol, pool, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol.Stats().Reset()
+	if p := c.Peek(addr); p != nil {
+		t.Fatal("peek of absent block returned a page")
+	}
+	if reads := vol.Stats().Snapshot().Reads; reads != 0 {
+		t.Fatalf("peek cost %d reads", reads)
+	}
+	p, err := c.Get(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Unpin(p)
+	q := c.Peek(addr)
+	if q == nil {
+		t.Fatal("peek of resident block returned nil")
+	}
+	c.Unpin(q)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

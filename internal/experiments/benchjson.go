@@ -19,11 +19,13 @@ import (
 // cmd/embench -json emits a slice of these (BENCH_*.json); future PRs
 // compare their own trajectory files against the committed ones.
 type BenchResult struct {
-	// Workload is mergesort | distsort | bulkload | sortindex.
+	// Workload is mergesort | distsort | bulkload | sortindex for the
+	// build side, getbatch | rangescan for the query-serving side.
 	Workload string `json:"workload"`
 	// Mode is sync | async for the sorts; the bulk load adds writebehind
 	// and the sortindex build reports its composition instead — sequential,
-	// pipelined, or pipelined+wb, all on async streams.
+	// pipelined, or pipelined+wb, all on async streams. The query points
+	// compare loop | batched point lookups and sync | prefetch scans.
 	Mode    string  `json:"mode"`
 	Disks   int     `json:"disks"`
 	Records int     `json:"records"`
@@ -35,11 +37,13 @@ type BenchResult struct {
 
 // BenchTrajectory measures the repository's headline perf surface: merge
 // sort, distribution sort, B-tree bulk load and the sort→index build —
-// synchronous vs forecast-driven asynchronous, plus the new write-behind
-// and pipelined compositions — at D ∈ {1, 4}, on a worker-engine volume
-// with a fixed per-block service latency (so wall clock reflects the
-// model's parallel-step cost, not host noise). Counted I/Os come from the
-// same Stats every experiment table reports, reset per workload.
+// synchronous vs forecast-driven asynchronous, plus the write-behind and
+// pipelined compositions — and, since PR 5, the query-serving side (looped
+// vs batched point lookups, sync vs prefetched range scans), at D ∈ {1, 4},
+// on a worker-engine volume with a fixed per-block service latency (so wall
+// clock reflects the model's parallel-step cost, not host noise). Counted
+// I/Os come from the same Stats every experiment table reports, reset per
+// workload.
 func BenchTrajectory(quick bool) ([]BenchResult, error) {
 	n, latency := 1<<13, 2*time.Millisecond
 	if quick {
@@ -180,6 +184,69 @@ func benchPoint(n, d int, async bool, latency time.Duration) ([]BenchResult, err
 		}); err != nil {
 			return nil, err
 		}
+	}
+
+	// The query-serving side (the F12 surface): one-at-a-time vs batched
+	// point lookups and sync vs prefetched full scans over a bulk-loaded
+	// tree with resident internals. The scans run before the point queries
+	// so both see the same warm fan-out and cold leaves.
+	tr, err := btree.BulkLoad(vol, pool, 16, sf, &btree.BulkLoadOptions{Width: d, Async: true, WriteBehind: true})
+	if err != nil {
+		return nil, err
+	}
+	// Rehome flushes the internals still dirty from construction so the
+	// sync Range's window is not charged their write-backs; Warm then makes
+	// the fan-out resident for every query point.
+	if err := tr.Rehome(pool, 16); err != nil {
+		return nil, err
+	}
+	if err := tr.Warm(); err != nil {
+		return nil, err
+	}
+	full := ^uint64(0)
+	mode = "prefetch"
+	if err := measure("rangescan", func() error {
+		return tr.RangePrefetch(pool, 0, full, nil, func(k, v uint64) error { return nil })
+	}); err != nil {
+		return nil, err
+	}
+	mode = "sync"
+	if err := measure("rangescan", func() error {
+		return tr.Range(0, full, func(k, v uint64) error { return nil })
+	}); err != nil {
+		return nil, err
+	}
+	// Re-warm: the sync Range just streamed the leaves through the tree
+	// cache, evicting the fan-out the point paths are documented to start
+	// from.
+	if err := tr.Warm(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(47))
+	keys := make([]uint64, 1000)
+	for i := range keys {
+		keys[i] = uint64(rng.Intn(n+n/8) + 1)
+	}
+	mode = "loop"
+	if err := measure("getbatch", func() error {
+		for _, k := range keys {
+			if _, _, err := tr.Get(k); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	mode = "batched"
+	if err := measure("getbatch", func() error {
+		_, _, err := tr.GetBatch(keys)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if err := tr.Close(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
