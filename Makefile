@@ -41,13 +41,15 @@ bench:
 	$(GO) test -run xxx -bench . -benchtime 3x .
 
 # Machine-readable benchmark trajectory: sync vs async sort/bulk-load, the
-# write-behind and pipelined sort→index modes, and the query-serving points
-# (looped vs batched lookups, sync vs prefetched scans) at D in {1,4},
-# wall-clock and counted I/Os, written to BENCH_PR5.json. Committed once per
-# PR so perf history accumulates as a diffable series (BENCH_PR3/PR4.json
-# are the previous points).
+# write-behind and pipelined sort→index modes, the query-serving points
+# (looped vs batched lookups, sync vs prefetched scans), and the online
+# store's mixed-workload points (buffered writes vs per-key inserts,
+# serving quiesced vs through a drain) at D in {1,4}, wall-clock and
+# counted I/Os, written to BENCH_PR6.json. Committed once per PR so perf
+# history accumulates as a diffable series (BENCH_PR3/PR4/PR5.json are the
+# previous points).
 bench-json:
-	$(GO) run ./cmd/embench -json BENCH_PR5.json
-	@cat BENCH_PR5.json
+	$(GO) run ./cmd/embench -json BENCH_PR6.json
+	@cat BENCH_PR6.json
 
 ci: build vet race

@@ -20,11 +20,14 @@
 // forecasting prefetch overlapping compute with I/O), F10 extends the
 // forecasting comparison to distribution sort and B-tree bulk loading, F11
 // covers the write side — write-behind leaf batching and the pipelined
-// sort→index build against their synchronous twins — and F12 the read side:
+// sort→index build against their synchronous twins — F12 the read side:
 // batched point lookups, prefetched range scans, and concurrent read
-// sessions against one-at-a-time serving, on both storage backends. F12
-// checks its own acceptance gates and fails (non-zero exit) when one is
-// missed, so CI can gate on the query-serving sweep.
+// sessions against one-at-a-time serving, on both storage backends — and
+// F13 the online store that composes the two: buffer-tree write absorption
+// against per-key B-tree inserts, and read throughput while a background
+// drain hands a new B-tree generation over. F12 and F13 check their own
+// acceptance gates and fail (non-zero exit) when one is missed, so CI can
+// gate on the sweeps.
 //
 // With -dir every experiment volume maps its simulated disks to real files
 // under the given directory (one numbered subdirectory per volume), so the
@@ -32,9 +35,11 @@
 //
 // With -json the catalogue is skipped; instead the benchmark trajectory —
 // sync vs async merge sort, distribution sort, B-tree bulk load (plus its
-// write-behind mode), the sequential vs pipelined sort→index build, and
-// the query-serving points (looped vs batched lookups, sync vs prefetched
-// scans) at D ∈ {1, 4}, wall-clock and counted I/Os — is written to the given file
+// write-behind mode), the sequential vs pipelined sort→index build, the
+// query-serving points (looped vs batched lookups, sync vs prefetched
+// scans), and the online store's mixed-workload points (buffered writes vs
+// per-key inserts, serving quiesced vs through a drain) at D ∈ {1, 4},
+// wall-clock and counted I/Os — is written to the given file
 // (the repository commits these as BENCH_*.json, one per PR, so perf
 // regressions show up as a diffable series; `make bench-json` regenerates
 // the current one).
@@ -191,6 +196,12 @@ var catalogue = []experiment{
 			return experiments.F12QueryServing(1<<12, []int{1, 4}, 2*time.Millisecond)
 		}
 		return experiments.F12QueryServing(1<<13, []int{1, 2, 4, 8}, 2*time.Millisecond)
+	}},
+	{"F13", "online store: buffer-tree front absorbs updates cheaper than per-key inserts; reads stay live through handover", func(q bool) (*experiments.Table, error) {
+		if q {
+			return experiments.F13StoreOnline(1<<12, []int{1, 4}, 2*time.Millisecond)
+		}
+		return experiments.F13StoreOnline(1<<13, []int{1, 2, 4, 8}, 2*time.Millisecond)
 	}},
 }
 

@@ -117,6 +117,26 @@
 // (batch speedup and read savings, scan speedup at identical reads, session
 // QPS scaling) on both storage backends.
 //
+// # An updatable store
+//
+// Store closes the loop between the write-optimal and read-optimal halves:
+// an online key-value index that serves Get/GetBatch/Scan while absorbing
+// Insert/Delete, with neither side giving up its bound. Updates land in a
+// buffer-tree write front at the amortised O((1/B)·log_m n) cost above;
+// when the front crosses a configurable threshold (StoreConfig.FrontOps)
+// it is sealed and a background drain merge-applies its resolved
+// operations — delete tombstones included, last writer wins by sequence
+// number — into a scan of the current B-tree generation, streaming the
+// result through the write-behind bulk loader into a fresh generation at
+// Θ(n/B) I/Os. Readers swap over atomically: generations are
+// reference-counted, so in-flight StoreScanners and StoreSessions keep
+// their generation (and its blocks) until they close, and a superseded
+// generation is reclaimed when its last reader departs. The drain runs on
+// a budget reserved at Open at half-width striping, and the two fronts'
+// resolved operations are mirrored in bounded memory, so read throughput
+// holds while the rebuild runs — experiment F13 gates the write
+// amortisation and the in-drain read QPS. See examples/kvstore.
+//
 // # File-backed volumes
 //
 // Where a volume's blocks live is pluggable through the Backend seam: the
@@ -149,6 +169,7 @@
 //   - matrices: Matrix, Transpose, TransposeNaive, MatMul
 //   - online dictionaries: BTree (with BulkLoadBTree and SortIndex), HashTable
 //   - batched updates: BufferTree
+//   - updatable store: Store (buffer-tree front + generational B-tree)
 //   - priority queues: PQ
 //   - graph algorithms: Graph, BFS, BFSUndirected, ConnectedComponents
 //   - list ranking: RankList, RankListNaive
@@ -178,6 +199,7 @@ import (
 	"em/internal/permute"
 	"em/internal/pqueue"
 	"em/internal/record"
+	"em/internal/store"
 	"em/internal/stream"
 	"em/internal/timefwd"
 )
@@ -542,6 +564,32 @@ type BufferTreeConfig = buffertree.Config
 // NewBufferTree creates an empty buffer tree.
 func NewBufferTree(vol *Volume, pool *Pool, cfg BufferTreeConfig) (*BufferTree, error) {
 	return buffertree.New(vol, pool, cfg)
+}
+
+// Store is the online updatable key-value index: a buffer-tree write front
+// over reference-counted B-tree generations, drained in the background.
+// Inserts and deletes cost the buffer tree's amortised bound; reads see
+// every operation accepted before them, through drains included.
+type Store = store.Store
+
+// StoreConfig tunes the store's seal threshold, cache and striping widths,
+// and its write front's shape.
+type StoreConfig = store.Config
+
+// StoreScanner is a consistent snapshot range scan over a Store.
+type StoreScanner = store.Scanner
+
+// StoreSession is a point-read handle with a private cache budget that
+// re-pins itself across generation handovers.
+type StoreSession = store.Session
+
+// ErrStoreClosed reports an operation on a closed Store.
+var ErrStoreClosed = store.ErrClosed
+
+// OpenStore creates a store on vol; the background drain's budget is
+// reserved from pool up front, like SortIndex's loader budget.
+func OpenStore(vol *Volume, pool *Pool, cfg StoreConfig) (*Store, error) {
+	return store.Open(vol, pool, cfg)
 }
 
 // PQ is an external-memory priority queue (merge-based): N inserts and N

@@ -8,10 +8,26 @@
 // This implementation is an online distribution tree: every node owns an
 // on-disk buffer of timestamped operations; when a buffer exceeds its
 // capacity it is emptied into the node's children (splitting leaves as the
-// tree deepens). Queries are answered after Seal, which drains every buffer
-// and emits the final sorted key/value file — the classic way the buffer
-// tree is used to drive batched problems (sorting, sweeps, and bulk index
-// construction).
+// tree deepens). The tree is consumed two ways:
+//
+//   - Seal drains every buffer and emits the final sorted key/value file —
+//     the classic offline use driving batched problems (sorting, sweeps,
+//     bulk index construction).
+//   - SealOps drains to a sorted run of resolved operations with delete
+//     tombstones kept, plus a sparse per-block key index (Run). This is the
+//     write-front handover used by the store: the run merges against the
+//     current B-tree generation, tombstones cancelling records, while the
+//     next front keeps absorbing updates.
+//
+// For read-your-writes serving, Probe answers a point lookup against the
+// buffered (unsealed or frozen) tree in O(path buffer blocks) I/Os. It
+// relies on the push-down invariant: along any root-to-leaf path, every
+// operation in a node's buffer is newer than every operation buffered in
+// its descendants (ops enter at the root in sequence order and a flush
+// always moves a node's entire buffer down), so the shallowest hit is the
+// newest operation for the key. Operations sitting in the root's buffer
+// since its last flush are mirrored in memory — faithful to Arge's model,
+// where the root buffer is the tree's internal-memory block.
 package buffertree
 
 import (
@@ -25,30 +41,32 @@ import (
 	"em/internal/stream"
 )
 
-// ErrSealed reports an update to a sealed tree.
+// ErrSealed reports an update to a sealed or frozen tree.
 var ErrSealed = errors.New("buffertree: tree already sealed")
 
-// op is one buffered operation. Seq orders operations on the same key; Del
-// marks deletions.
-type op struct {
+// Op is one buffered operation. Seq orders operations on the same key
+// across the tree (and across successive write fronts via Config.StartSeq);
+// its low bit marks deletions.
+type Op struct {
 	Key uint64
 	Val uint64
 	Seq uint64 // (sequence << 1) | delete-bit
 }
 
-func (o op) del() bool { return o.Seq&1 == 1 }
+// Deleted reports whether the operation is a delete tombstone.
+func (o Op) Deleted() bool { return o.Seq&1 == 1 }
 
-// opCodec encodes op in 24 bytes.
+// opCodec encodes Op in 24 bytes.
 type opCodec struct{}
 
 func (opCodec) Size() int { return 24 }
-func (opCodec) Encode(b []byte, o op) {
+func (opCodec) Encode(b []byte, o Op) {
 	binary.LittleEndian.PutUint64(b[0:8], o.Key)
 	binary.LittleEndian.PutUint64(b[8:16], o.Val)
 	binary.LittleEndian.PutUint64(b[16:24], o.Seq)
 }
-func (opCodec) Decode(b []byte) op {
-	return op{
+func (opCodec) Decode(b []byte) Op {
+	return Op{
 		Key: binary.LittleEndian.Uint64(b[0:8]),
 		Val: binary.LittleEndian.Uint64(b[8:16]),
 		Seq: binary.LittleEndian.Uint64(b[16:24]),
@@ -63,27 +81,38 @@ type Config struct {
 	// BufferRecords is each node's buffer capacity (the survey's Θ(M)).
 	// Zero picks a value from the pool size.
 	BufferRecords int
+	// StartSeq seeds the operation sequence counter. A store opening a
+	// fresh write front seeds it with the previous front's LastSeq so that
+	// last-writer-wins resolution stays correct across front generations.
+	StartSeq uint64
 }
 
 // node is one buffer-tree node. splitters and children are empty for
 // leaves. The buffer file lives on disk; only this constant-size header is
 // in memory (as the survey assumes for the O(N/B)-node catalog).
 type node struct {
-	buf       *stream.File[op]
+	buf       *stream.File[Op]
 	splitters []uint64
 	children  []*node
 }
 
-// Tree is a buffer tree accepting Insert and Delete until Seal.
+// Tree is a buffer tree accepting Insert and Delete until Freeze or Seal.
 type Tree struct {
 	vol    *pdm.Volume
 	pool   *pdm.Pool
 	cfg    Config
 	root   *node
-	rootW  *stream.Writer[op]
+	rootW  *stream.Writer[Op]
 	seq    uint64
+	frozen bool
 	sealed bool
+	broken error // sticky: a failed flush leaves buffers duplicated below
 	ops    int64
+	// mirror holds the newest operation per key among the ops appended to
+	// the root's buffer since its last flush (the root buffer is internal
+	// memory in Arge's model). It serves Probe and CollectRange without
+	// reading the root's buffer file, which the open root writer mutates.
+	mirror map[uint64]Op
 }
 
 // New creates an empty buffer tree.
@@ -101,8 +130,8 @@ func New(vol *pdm.Volume, pool *pdm.Pool, cfg Config) (*Tree, error) {
 	if cfg.BufferRecords < 2 {
 		return nil, fmt.Errorf("buffertree: buffer must hold >= 2 records, got %d", cfg.BufferRecords)
 	}
-	t := &Tree{vol: vol, pool: pool, cfg: cfg}
-	t.root = &node{buf: stream.NewFile[op](vol, opCodec{})}
+	t := &Tree{vol: vol, pool: pool, cfg: cfg, seq: cfg.StartSeq, mirror: make(map[uint64]Op)}
+	t.root = &node{buf: stream.NewFile[Op](vol, opCodec{})}
 	w, err := stream.NewWriter(t.root.buf, pool)
 	if err != nil {
 		return nil, err
@@ -114,16 +143,20 @@ func New(vol *pdm.Volume, pool *pdm.Pool, cfg Config) (*Tree, error) {
 // Ops returns the number of operations accepted so far.
 func (t *Tree) Ops() int64 { return t.ops }
 
+// LastSeq returns the current sequence counter, the StartSeq for the next
+// front in a generational store.
+func (t *Tree) LastSeq() uint64 { return t.seq }
+
 // Insert buffers an insertion of (key, val). Later operations on the same
 // key win.
 func (t *Tree) Insert(key, val uint64) error {
-	return t.push(op{Key: key, Val: val, Seq: t.nextSeq(false)})
+	return t.push(Op{Key: key, Val: val, Seq: t.nextSeq(false)})
 }
 
 // Delete buffers a deletion of key. Deleting an absent key is a no-op at
 // seal time.
 func (t *Tree) Delete(key uint64) error {
-	return t.push(op{Key: key, Seq: t.nextSeq(true)})
+	return t.push(Op{Key: key, Seq: t.nextSeq(true)})
 }
 
 func (t *Tree) nextSeq(del bool) uint64 {
@@ -135,24 +168,44 @@ func (t *Tree) nextSeq(del bool) uint64 {
 	return s
 }
 
-func (t *Tree) push(o op) error {
-	if t.sealed {
+func (t *Tree) push(o Op) error {
+	if t.frozen || t.sealed {
 		return ErrSealed
 	}
+	if t.broken != nil {
+		return t.broken
+	}
 	if err := t.rootW.Append(o); err != nil {
+		t.broken = err
 		return err
 	}
 	t.ops++
+	t.mirror[o.Key] = o // seqs are monotone, so overwrite is last-writer-wins
 	if t.root.buf.Len() >= int64(t.cfg.BufferRecords) {
-		// Re-open the root writer around the flush.
+		// Re-open the root writer around the flush. Any failure below
+		// poisons the tree for further updates: a partial flush may leave
+		// ops duplicated between a node and its children (harmless for
+		// probing and draining, which resolve by Seq, but not for going on
+		// accepting writes through a writer of unknown state).
 		if err := t.rootW.Close(); err != nil {
+			t.rootW = nil
+			t.broken = err
 			return err
 		}
-		if err := t.flush(t.root); err != nil {
+		t.rootW = nil
+		err := t.flush(t.root)
+		if t.root.buf.Len() == 0 {
+			// The root's buffer went down (even if a deeper flush then
+			// failed); the mirror no longer covers anything.
+			clear(t.mirror)
+		}
+		if err != nil {
+			t.broken = err
 			return err
 		}
 		w, err := stream.NewWriter(t.root.buf, t.pool)
 		if err != nil {
+			t.broken = err
 			return err
 		}
 		t.rootW = w
@@ -188,7 +241,10 @@ func (t *Tree) flush(n *node) error {
 
 // splitLeaf converts an overflowing leaf into an internal node: its buffer
 // is loaded (it holds Θ(M) records, which fit in memory by construction),
-// sorted, and cut into fanout children by evenly spaced splitters.
+// sorted, and cut into fanout children by evenly spaced splitters. The old
+// buffer is replaced only after the partitioned copies are durable, so a
+// mid-pass failure leaves every op still reachable (duplicated at worst)
+// and no block unreferenced.
 func (t *Tree) splitLeaf(n *node) error {
 	ops, err := stream.ToSlice(n.buf, t.pool)
 	if err != nil {
@@ -209,13 +265,13 @@ func (t *Tree) splitLeaf(n *node) error {
 	n.splitters = dedupe(n.splitters)
 	n.children = make([]*node, len(n.splitters)+1)
 	for i := range n.children {
-		n.children[i] = &node{buf: stream.NewFile[op](t.vol, opCodec{})}
+		n.children[i] = &node{buf: stream.NewFile[Op](t.vol, opCodec{})}
 	}
-	old := n.buf
-	n.buf = stream.NewFile[op](t.vol, opCodec{})
 	if err := t.writePartitioned(ops, n); err != nil {
 		return err
 	}
+	old := n.buf
+	n.buf = stream.NewFile[Op](t.vol, opCodec{})
 	old.Release()
 	return nil
 }
@@ -236,14 +292,22 @@ func childIndex(n *node, k uint64) int {
 }
 
 // distribute streams n's buffer into its children's buffers and empties it.
+// Every child writer is closed on every path — a Close failure must not
+// strand the remaining writers' frames.
 func (t *Tree) distribute(n *node) error {
-	writers := make([]*stream.Writer[op], len(n.children))
-	closeAll := func() {
-		for _, w := range writers {
-			if w != nil {
-				w.Close()
+	writers := make([]*stream.Writer[Op], len(n.children))
+	closeAll := func() error {
+		var first error
+		for i, w := range writers {
+			if w == nil {
+				continue
+			}
+			writers[i] = nil
+			if err := w.Close(); err != nil && first == nil {
+				first = err
 			}
 		}
+		return first
 	}
 	for i, c := range n.children {
 		w, err := stream.NewWriter(c.buf, t.pool)
@@ -253,28 +317,25 @@ func (t *Tree) distribute(n *node) error {
 		}
 		writers[i] = w
 	}
-	err := stream.ForEach(n.buf, t.pool, func(o op) error {
+	err := stream.ForEach(n.buf, t.pool, func(o Op) error {
 		return writers[childIndex(n, o.Key)].Append(o)
 	})
+	if cerr := closeAll(); err == nil {
+		err = cerr
+	}
 	if err != nil {
-		closeAll()
 		return err
 	}
-	for _, w := range writers {
-		if err := w.Close(); err != nil {
-			return err
-		}
-	}
 	old := n.buf
-	n.buf = stream.NewFile[op](t.vol, opCodec{})
+	n.buf = stream.NewFile[Op](t.vol, opCodec{})
 	old.Release()
 	return nil
 }
 
 // writePartitioned appends in-memory ops to the children of n.
-func (t *Tree) writePartitioned(ops []op, n *node) error {
+func (t *Tree) writePartitioned(ops []Op, n *node) error {
 	cur := -1
-	var w *stream.Writer[op]
+	var w *stream.Writer[Op]
 	defer func() {
 		if w != nil {
 			w.Close()
@@ -285,6 +346,7 @@ func (t *Tree) writePartitioned(ops []op, n *node) error {
 		if ci != cur {
 			if w != nil {
 				if err := w.Close(); err != nil {
+					w = nil
 					return err
 				}
 			}
@@ -308,15 +370,117 @@ func (t *Tree) writePartitioned(ops []op, n *node) error {
 	return nil
 }
 
+// Freeze stops the tree from accepting updates but keeps it probe-able: it
+// closes the root writer (returning its frames) while every buffer —
+// including the root mirror — stays in place. A store freezes the old
+// front at swap time, while it still holds the writers' lock, so the
+// background drain never races a writer over the root buffer's tail block.
+// Freeze is idempotent.
+func (t *Tree) Freeze() error {
+	if t.frozen {
+		return t.broken
+	}
+	t.frozen = true
+	if t.rootW != nil {
+		err := t.rootW.Close()
+		t.rootW = nil
+		if err != nil {
+			t.broken = err
+			return err
+		}
+	}
+	return t.broken
+}
+
+// Probe answers a point lookup against the buffered tree: the newest
+// operation for key, or ok=false if no operation mentions it. It costs at
+// most the buffer blocks along one root-to-leaf path (the root's share is
+// answered from the in-memory mirror). By the push-down invariant — ops
+// only ever move down, and a flush moves a node's whole buffer — the
+// shallowest node with a hit holds the newest operation.
+//
+// Probe is read-only and safe to call concurrently with other probes and
+// CollectRange, but not with updates or a drain; a store interleaves them
+// under its reader/writer lock.
+func (t *Tree) Probe(key uint64) (Op, bool, error) {
+	if o, ok := t.mirror[key]; ok {
+		return o, true, nil
+	}
+	n := t.root
+	for len(n.children) > 0 {
+		n = n.children[childIndex(n, key)]
+		var best Op
+		found := false
+		err := stream.ForEach(n.buf, t.pool, func(o Op) error {
+			if o.Key == key && (!found || o.Seq > best.Seq) {
+				best, found = o, true
+			}
+			return nil
+		})
+		if err != nil {
+			return Op{}, false, err
+		}
+		if found {
+			return best, true, nil
+		}
+	}
+	return Op{}, false, nil
+}
+
+// CollectRange returns the resolved newest operation per key for every
+// buffered key in [lo, hi], sorted by key, tombstones included. It reads
+// every non-root buffer (the root's share comes from the mirror); the
+// result is bounded by the tree's buffered op count, which a store keeps
+// under its front threshold. Like Probe it is read-only.
+func (t *Tree) CollectRange(lo, hi uint64) ([]Op, error) {
+	var ops []Op
+	for k, o := range t.mirror {
+		if k >= lo && k <= hi {
+			ops = append(ops, o)
+		}
+	}
+	var walk func(n *node) error
+	walk = func(n *node) error {
+		for _, c := range n.children {
+			err := stream.ForEach(c.buf, t.pool, func(o Op) error {
+				if o.Key >= lo && o.Key <= hi {
+					ops = append(ops, o)
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root); err != nil {
+		return nil, err
+	}
+	var out []Op
+	if err := resolveOps(ops, func(o Op) error {
+		out = append(out, o)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // Seal drains every buffer and returns the final key/value pairs as a file
 // sorted by key, with deletions applied and the latest operation per key
-// winning. The tree cannot accept further updates.
+// winning. The tree cannot accept further updates. On success the tree's
+// buffer blocks are released; on failure the partial output is released,
+// the drain's frames are returned, and the buffers stay intact, so the
+// caller's Pool.Free is exactly restored and Seal may be retried.
 func (t *Tree) Seal() (*stream.File[record.Record], error) {
 	if t.sealed {
 		return nil, ErrSealed
 	}
-	t.sealed = true
-	if err := t.rootW.Close(); err != nil {
+	if err := t.Freeze(); err != nil {
 		return nil, err
 	}
 	out := stream.NewFile[record.Record](t.vol, record.RecordCodec{})
@@ -324,45 +488,137 @@ func (t *Tree) Seal() (*stream.File[record.Record], error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := t.drain(t.root, nil, w); err != nil {
+	err = t.drainAll(func(leafOps []Op) error {
+		return resolveOps(leafOps, func(o Op) error {
+			if o.Deleted() {
+				return nil
+			}
+			return w.Append(record.Record{Key: o.Key, Val: o.Val})
+		})
+	})
+	if err == nil {
+		err = w.Close()
+	} else {
 		w.Close()
+	}
+	if err != nil {
+		out.Release()
 		return nil, err
 	}
-	if err := w.Close(); err != nil {
-		return nil, err
-	}
+	t.sealed = true
+	t.ReleaseBuffers()
 	return out, nil
 }
 
-// drain empties n and its subtree into w in key order. pending carries ops
-// pushed down from ancestors whose buffers were smaller than a full flush.
-func (t *Tree) drain(n *node, pending []op, w *stream.Writer[record.Record]) error {
+// SealOps drains every buffer into a sorted run of resolved operations —
+// one op per buffered key, newest by Seq, delete tombstones kept — and
+// returns it with a sparse first-key-per-block index for point probes.
+// This is the store's write-front handover: the run merges against the
+// current B-tree generation (tombstones cancelling records) while probes
+// keep being served from it at one read each.
+//
+// The drain is non-destructive: the tree's buffers remain intact and
+// probe-able until the caller releases them with ReleaseBuffers, so a
+// store can run SealOps in the background while readers still consult the
+// frozen front. On failure the partial run is released and every frame
+// returned; the caller may retry.
+func (t *Tree) SealOps() (*Run, error) {
+	if t.sealed {
+		return nil, ErrSealed
+	}
+	if err := t.Freeze(); err != nil {
+		return nil, err
+	}
+	out := stream.NewFile[Op](t.vol, opCodec{})
+	w, err := stream.NewWriter(out, t.pool)
+	if err != nil {
+		return nil, err
+	}
+	r := &Run{file: out}
+	per := int64(out.PerBlock())
+	var cnt int64
+	err = t.drainAll(func(leafOps []Op) error {
+		return resolveOps(leafOps, func(o Op) error {
+			if cnt%per == 0 {
+				r.firstKeys = append(r.firstKeys, o.Key)
+			}
+			cnt++
+			return w.Append(o)
+		})
+	})
+	if err == nil {
+		err = w.Close()
+	} else {
+		w.Close()
+	}
+	if err != nil {
+		out.Release()
+		return nil, err
+	}
+	t.sealed = true
+	return r, nil
+}
+
+// ReleaseBuffers returns every buffer block (and the root writer's frames,
+// if the tree was never frozen) to the volume and pool. The tree accepts
+// no further operations and must no longer be probed. It is the
+// counterpart of SealOps's non-destructive drain, and the teardown path
+// for abandoning a tree part-way.
+func (t *Tree) ReleaseBuffers() {
+	t.frozen, t.sealed = true, true
+	if t.rootW != nil {
+		t.rootW.Close()
+		t.rootW = nil
+	}
+	clear(t.mirror)
+	var walk func(n *node)
+	walk = func(n *node) {
+		n.buf.Release()
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+}
+
+// drainAll walks the tree in key order, handing each leaf's operations
+// (its own buffer plus everything pushed down from ancestors, unresolved
+// and unsorted) to emit. Buffers are read, never released — the caller
+// decides when the tree's blocks go (ReleaseBuffers).
+func (t *Tree) drainAll(emit func([]Op) error) error {
+	return t.drainNode(t.root, nil, emit)
+}
+
+func (t *Tree) drainNode(n *node, pending []Op, emit func([]Op) error) error {
 	ops, err := stream.ToSlice(n.buf, t.pool)
 	if err != nil {
 		return err
 	}
-	n.buf.Release()
 	ops = append(ops, pending...)
 	if len(n.children) == 0 {
-		return emit(ops, w)
+		return emit(ops)
 	}
 	// Partition the residue among children and recurse in key order.
-	parts := make([][]op, len(n.children))
+	parts := make([][]Op, len(n.children))
 	for _, o := range ops {
 		ci := childIndex(n, o.Key)
 		parts[ci] = append(parts[ci], o)
 	}
 	for i, c := range n.children {
-		if err := t.drain(c, parts[i], w); err != nil {
+		if err := t.drainNode(c, parts[i], emit); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// emit resolves a leaf's operations and writes surviving records in key
-// order.
-func emit(ops []op, w *stream.Writer[record.Record]) error {
+// resolveOps sorts ops by (key, seq) and hands the newest operation per
+// key to fn in ascending key order — last-writer-wins by Seq, which holds
+// across splitLeaf/distribute repartitioning and across write fronts
+// (seqs are globally monotone). A partial flush may leave the same (key,
+// seq) op duplicated between a node and its children; duplicates sort
+// adjacent and collapse here.
+func resolveOps(ops []Op, fn func(Op) error) error {
 	sort.Slice(ops, func(i, j int) bool {
 		if ops[i].Key != ops[j].Key {
 			return ops[i].Key < ops[j].Key
@@ -374,11 +630,8 @@ func emit(ops []op, w *stream.Writer[record.Record]) error {
 		for j < len(ops) && ops[j].Key == ops[i].Key {
 			j++
 		}
-		last := ops[j-1] // highest sequence number wins
-		if !last.del() {
-			if err := w.Append(record.Record{Key: last.Key, Val: last.Val}); err != nil {
-				return err
-			}
+		if err := fn(ops[j-1]); err != nil { // highest sequence number wins
+			return err
 		}
 		i = j
 	}

@@ -10,6 +10,7 @@ import (
 	"em/internal/pdm"
 	"em/internal/pipeline"
 	"em/internal/record"
+	"em/internal/store"
 	"em/internal/stream"
 )
 
@@ -58,6 +59,123 @@ func BenchTrajectory(quick bool) ([]BenchResult, error) {
 			}
 			out = append(out, rs...)
 		}
+		rs, err := storeBenchPoint(n, d, latency)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rs...)
+	}
+	return out, nil
+}
+
+// storeBenchPoint measures the online store's trajectory points at one
+// disk count (the F13 surface): absorbing a random update mix through the
+// buffer-tree front versus per-key B-tree inserts, and point-read serving
+// quiesced versus with a generation handover in flight.
+func storeBenchPoint(n, d int, latency time.Duration) ([]BenchResult, error) {
+	cfg := pdm.Config{BlockBytes: 1024, MemBlocks: 256, Disks: d, DiskLatency: latency}
+	vol, err := newVolume(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer vol.Close()
+	pool := pdm.PoolFor(vol)
+
+	var out []BenchResult
+	measure := func(workload, mode string, records int, fn func() error) error {
+		vol.Stats().Reset()
+		start := time.Now()
+		if err := fn(); err != nil {
+			return fmt.Errorf("%s %s D=%d: %w", workload, mode, d, err)
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		s := vol.Stats().Snapshot()
+		out = append(out, BenchResult{
+			Workload: workload, Mode: mode, Disks: d, Records: records,
+			WallMs: ms, Reads: s.Reads, Writes: s.Writes, Steps: s.Steps,
+		})
+		return nil
+	}
+
+	keys := rand.New(rand.NewSource(0xF13)).Perm(n)
+	if err := measure("store", "btree-loop", n, func() error {
+		tr, err := btree.New(vol, pool, 8)
+		if err != nil {
+			return err
+		}
+		for i, k := range keys {
+			if _, err := tr.Insert(uint64(k+1), uint64(i)); err != nil {
+				return err
+			}
+		}
+		return tr.Release()
+	}); err != nil {
+		return nil, err
+	}
+
+	var st *store.Store
+	if err := measure("store", "buffered", n, func() error {
+		var err error
+		st, err = store.Open(vol, pool, store.Config{FrontOps: int64(n / 2)})
+		if err != nil {
+			return err
+		}
+		for i, k := range keys {
+			if err := st.Insert(uint64(k+1), uint64(i)); err != nil {
+				return err
+			}
+		}
+		return st.Drain()
+	}); err != nil {
+		return nil, err
+	}
+
+	const serveReads = 200
+	rng := rand.New(rand.NewSource(0x5E12))
+	read := func() error {
+		k := uint64(rng.Intn(n) + 1)
+		if _, ok, err := st.Get(k); err != nil || !ok {
+			return fmt.Errorf("get(%d): ok=%v err=%v", k, ok, err)
+		}
+		return nil
+	}
+	if err := measure("store", "serve-quiesced", serveReads, func() error {
+		for i := 0; i < serveReads; i++ {
+			if err := read(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	for i := 0; i < n/2; i++ {
+		if err := st.Insert(uint64(rng.Intn(n)+1), uint64(i)); err != nil {
+			return nil, err
+		}
+	}
+	inDrain := 0
+	if err := measure("store", "serve-drain", serveReads, func() error {
+		if !st.StartDrain() {
+			return nil
+		}
+		for st.Draining() {
+			if err := read(); err != nil {
+				return err
+			}
+			inDrain++
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	out[len(out)-1].Records = inDrain
+	if err := st.Drain(); err != nil {
+		return nil, err
+	}
+	if err := st.Close(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -34,7 +34,7 @@ var (
 // string restores the in-memory simulation. The I/O counts every experiment
 // reports are identical either way — only the medium under the wall-clock
 // columns changes. cmd/embench wires this to its -dir flag so the full
-// catalogue (T1–T9, F1–F12) runs against real files with a flag flip.
+// catalogue (T1–T9, F1–F13) runs against real files with a flag flip.
 func SetVolumeDir(dir string) { volumeDir.Store(dir) }
 
 // newVolume creates one experiment volume honouring SetVolumeDir.

@@ -476,3 +476,41 @@ func TestF12QueryServingShape(t *testing.T) {
 		d4.Cells["rangeMs"], d4.Cells["scanMs"], d4.Cells["rangeMs"]/d4.Cells["scanMs"],
 		d4.Cells["qps1"], d4.Cells["qps4"])
 }
+
+func TestF13StoreOnlineShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	// F13 enforces its own acceptance gates at the D=4 points — buffered
+	// writes >= 2x faster than per-key B-tree inserts at strictly fewer
+	// I/Os, in-drain read QPS >= half of quiesced — and fails the run when
+	// one is missed, so the assertions here are the gross shape on top.
+	tab, err := F13StoreOnline(1<<13, []int{1, 4}, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("expected 4 rows (D in {1,4} x {mem,file}), got %d", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		// The amortisation argument is independent of D: the front batches
+		// ~B updates per buffer block, so the store's counted I/Os must be
+		// strictly below the per-key insert loop's everywhere.
+		if r.Cells["storeIOs"] >= r.Cells["btreeIOs"] {
+			t.Errorf("%s: store %0.f I/Os not below per-key inserts %0.f",
+				r.Label, r.Cells["storeIOs"], r.Cells["btreeIOs"])
+		}
+		if r.Cells["storeMs"] > r.Cells["btreeMs"] {
+			t.Errorf("%s: store %.1fms slower than per-key inserts %.1fms",
+				r.Label, r.Cells["storeMs"], r.Cells["btreeMs"])
+		}
+		if r.Cells["drains"] < 1 {
+			t.Errorf("%s: no background drain ran", r.Label)
+		}
+	}
+	d4 := tab.Rows[len(tab.Rows)-1] // D=4/file
+	t.Logf("D=4/file: per-key %.1fms vs store %.1fms (%.1fx, I/Os %0.f->%0.f); qps quiesced %0.f vs in-drain %0.f (%d reads)",
+		d4.Cells["btreeMs"], d4.Cells["storeMs"], d4.Cells["btreeMs"]/d4.Cells["storeMs"],
+		d4.Cells["btreeIOs"], d4.Cells["storeIOs"],
+		d4.Cells["qpsQuiet"], d4.Cells["qpsDrain"], int(d4.Cells["drainReads"]))
+}

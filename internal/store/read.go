@@ -1,0 +1,91 @@
+package store
+
+import "em/internal/buffertree"
+
+// probeLocked looks key up in the buffered overlays, newest first: the
+// unsealed front's map, then the sealed front's. Caller holds mu (either
+// mode). ok means some buffered operation mentions the key — possibly a
+// tombstone — and the generation need not be consulted. The probe is pure
+// memory: the disk-resident front buffers are the durable copy, the maps
+// the read path.
+func (s *Store) probeLocked(key uint64) (buffertree.Op, bool) {
+	if op, ok := s.frontMap[key]; ok {
+		return op, true
+	}
+	if s.sealedMap != nil {
+		if op, ok := s.sealedMap[key]; ok {
+			return op, true
+		}
+	}
+	return buffertree.Op{}, false
+}
+
+// Get returns the value for key. The read reflects every operation
+// accepted before it — read-your-writes, including while a drain is in
+// flight.
+func (s *Store) Get(key uint64) (uint64, bool, error) {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return 0, false, ErrClosed
+	}
+	if op, ok := s.probeLocked(key); ok {
+		s.mu.RUnlock()
+		return op.Val, !op.Deleted(), nil
+	}
+	gen := s.gen
+	gen.refs.Add(1)
+	s.mu.RUnlock()
+	// The generation's own buffer manager is not thread-safe; point reads
+	// through it are serialized. Sessions read with private caches and
+	// skip this lock.
+	gen.mu.Lock()
+	v, found, err := gen.tree.Get(key)
+	gen.mu.Unlock()
+	s.releaseGen(gen)
+	return v, found, err
+}
+
+// GetBatch looks up many keys: buffered overlays first, the remainder
+// through the generation's level-batched GetBatch, so the counted reads
+// for the B-tree share stay at the parallel-disk batch cost.
+func (s *Store) GetBatch(keys []uint64) ([]uint64, []bool, error) {
+	vals := make([]uint64, len(keys))
+	found := make([]bool, len(keys))
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, nil, ErrClosed
+	}
+	rest := make([]int, 0, len(keys))
+	for i, k := range keys {
+		if op, ok := s.probeLocked(k); ok {
+			if !op.Deleted() {
+				vals[i], found[i] = op.Val, true
+			}
+			continue
+		}
+		rest = append(rest, i)
+	}
+	gen := s.gen
+	gen.refs.Add(1)
+	s.mu.RUnlock()
+	if len(rest) > 0 {
+		sub := make([]uint64, len(rest))
+		for j, i := range rest {
+			sub[j] = keys[i]
+		}
+		gen.mu.Lock()
+		v2, f2, err := gen.tree.GetBatch(sub)
+		gen.mu.Unlock()
+		if err != nil {
+			s.releaseGen(gen)
+			return nil, nil, err
+		}
+		for j, i := range rest {
+			vals[i], found[i] = v2[j], f2[j]
+		}
+	}
+	s.releaseGen(gen)
+	return vals, found, nil
+}

@@ -1,0 +1,149 @@
+package store
+
+import (
+	"sort"
+
+	"em/internal/btree"
+	"em/internal/buffertree"
+	"em/internal/record"
+	"em/internal/stream"
+)
+
+// collectRange gathers the overlay map's operations with keys in [lo, hi],
+// key-sorted — the in-memory equivalent of buffertree.CollectRange.
+func collectRange(m map[uint64]buffertree.Op, lo, hi uint64) []buffertree.Op {
+	var out []buffertree.Op
+	for k, op := range m {
+		if k >= lo && k <= hi {
+			out = append(out, op)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// mergeResolved merges two key-sorted resolved op slices, the higher Seq
+// winning on equal keys (a holds the newer front's ops, but the Seq
+// comparison keeps it correct regardless).
+func mergeResolved(a, b []buffertree.Op) []buffertree.Op {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]buffertree.Op, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Key < b[j].Key:
+			out = append(out, a[i])
+			i++
+		case a[i].Key > b[j].Key:
+			out = append(out, b[j])
+			j++
+		default:
+			if a[i].Seq >= b[j].Seq {
+				out = append(out, a[i])
+			} else {
+				out = append(out, b[j])
+			}
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// opsDelta adapts a resolved, key-sorted op slice to a stream.Source so it
+// can feed a Scanner's stream.Patch.
+type opsDelta struct {
+	mem []buffertree.Op
+	i   int
+}
+
+func (d *opsDelta) Next() (buffertree.Op, bool, error) {
+	if d.i >= len(d.mem) {
+		return buffertree.Op{}, false, nil
+	}
+	o := d.mem[d.i]
+	d.i++
+	return o, true, nil
+}
+
+func (d *opsDelta) Close() {}
+
+// Scanner streams the records with keys in [lo, hi] in key order, as of
+// the moment Scan was called: a consistent snapshot — the buffered
+// overlays were collected under the view lock and the generation is
+// pinned — that concurrent writes and drains cannot disturb. It implements
+// stream.Source[record.Record].
+type Scanner struct {
+	s      *Store
+	patch  *stream.Patch[buffertree.Op]
+	sess   *btree.Session
+	gen    *generation
+	closed bool
+}
+
+// Scan opens a snapshot range scan over [lo, hi]. The underlying B-tree
+// scan runs through a private read session (prefetched leaf reads, its own
+// cache budget), overlaid with the buffered operations in range.
+func (s *Store) Scan(lo, hi uint64) (*Scanner, error) {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	mem := collectRange(s.frontMap, lo, hi)
+	if s.sealedMap != nil {
+		mem = mergeResolved(mem, collectRange(s.sealedMap, lo, hi))
+	}
+	gen := s.gen
+	gen.refs.Add(1)
+	s.mu.RUnlock()
+
+	gen.mu.Lock()
+	sess, err := gen.tree.NewSession(s.pool, s.cfg.CacheFrames, s.cfg.Width)
+	gen.mu.Unlock()
+	if err != nil {
+		s.releaseGen(gen)
+		return nil, err
+	}
+	base, err := sess.NewScanner(lo, hi, nil)
+	if err != nil {
+		sess.Close()
+		s.releaseGen(gen)
+		return nil, err
+	}
+	patch := stream.NewPatch[buffertree.Op](base, &opsDelta{mem: mem},
+		func(o buffertree.Op) uint64 { return o.Key },
+		func(o buffertree.Op) (record.Record, bool) {
+			return record.Record{Key: o.Key, Val: o.Val}, !o.Deleted()
+		})
+	return &Scanner{s: s, patch: patch, sess: sess, gen: gen}, nil
+}
+
+// Next returns the next record in the range.
+func (sc *Scanner) Next() (record.Record, bool, error) {
+	if sc.closed {
+		return record.Record{}, false, nil
+	}
+	return sc.patch.Next()
+}
+
+// Close releases the scanner's session and its pin on the generation it
+// snapshotted. Idempotent.
+func (sc *Scanner) Close() {
+	if sc.closed {
+		return
+	}
+	sc.closed = true
+	sc.patch.Close()
+	if err := sc.sess.Close(); err != nil {
+		sc.s.noteErr(err)
+	}
+	sc.s.releaseGen(sc.gen)
+}

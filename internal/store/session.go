@@ -1,0 +1,181 @@
+package store
+
+import "em/internal/btree"
+
+// Session is a point-read handle with a private cache budget: its B-tree
+// reads go through a btree.Session, so many Sessions serve lookups
+// concurrently without touching the shared generation cache. Reads stay
+// read-your-writes — the buffered layers are consulted first on every
+// call.
+//
+// A Session pins its generation: the generation's blocks outlive any
+// handover until the Session closes. When a drain installs a newer
+// generation the Session re-pins lazily on its next read, so it never
+// serves a key that has already moved below its horizon from the wrong
+// layer. Each Session is for one goroutine; distinct Sessions are safe
+// concurrently.
+type Session struct {
+	s      *Store
+	cache  int
+	width  int
+	gen    *generation
+	sess   *btree.Session
+	broken error
+	closed bool
+}
+
+// NewSession opens a read session. cacheFrames sizes its private buffer
+// manager (zero picks the store's CacheFrames) and width its scan/batch
+// striping (zero picks the store's Width); the whole budget is reserved
+// from the store's pool until Close.
+func (s *Store) NewSession(cacheFrames, width int) (*Session, error) {
+	if cacheFrames < 3 {
+		cacheFrames = s.cfg.CacheFrames
+	}
+	if width < 1 {
+		width = s.cfg.Width
+	}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	gen := s.gen
+	gen.refs.Add(1)
+	s.mu.RUnlock()
+	sess, err := openGenSession(gen, s, cacheFrames, width)
+	if err != nil {
+		s.releaseGen(gen)
+		return nil, err
+	}
+	return &Session{s: s, cache: cacheFrames, width: width, gen: gen, sess: sess}, nil
+}
+
+// openGenSession opens a btree session under the generation's cache lock
+// (NewSession flushes the tree's own cache).
+func openGenSession(gen *generation, s *Store, cacheFrames, width int) (*btree.Session, error) {
+	gen.mu.Lock()
+	defer gen.mu.Unlock()
+	return gen.tree.NewSession(s.pool, cacheFrames, width)
+}
+
+// repin moves the session onto cur, which the caller has already
+// referenced. A failure poisons the session (its old generation is gone
+// from the store's view; continuing to read it would not be
+// read-your-writes).
+func (ss *Session) repin(cur *generation) error {
+	err := ss.sess.Close()
+	ss.s.releaseGen(ss.gen)
+	ss.gen = cur
+	ss.sess = nil
+	if err == nil {
+		ss.sess, err = openGenSession(cur, ss.s, ss.cache, ss.width)
+	}
+	if err != nil {
+		ss.broken = err
+	}
+	return err
+}
+
+// Get returns the value for key, read-your-writes.
+func (ss *Session) Get(key uint64) (uint64, bool, error) {
+	v, f, _, err := ss.read(key, nil)
+	return v, f, err
+}
+
+// GetBatch looks up many keys, the buffered layers first and the
+// remainder through the session's level-batched reads.
+func (ss *Session) GetBatch(keys []uint64) ([]uint64, []bool, error) {
+	_, _, out, err := ss.read(0, keys)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out.vals, out.found, nil
+}
+
+type batchOut struct {
+	vals  []uint64
+	found []bool
+}
+
+// read serves both Get (keys == nil) and GetBatch under one overlay +
+// re-pin sequence.
+func (ss *Session) read(key uint64, keys []uint64) (uint64, bool, *batchOut, error) {
+	if ss.closed {
+		return 0, false, nil, ErrClosed
+	}
+	if ss.broken != nil {
+		return 0, false, nil, ss.broken
+	}
+	s := ss.s
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return 0, false, nil, ErrClosed
+	}
+	var (
+		out  *batchOut
+		rest []int
+	)
+	if keys == nil {
+		if o, ok := s.probeLocked(key); ok {
+			s.mu.RUnlock()
+			return o.Val, !o.Deleted(), nil, nil
+		}
+	} else {
+		out = &batchOut{vals: make([]uint64, len(keys)), found: make([]bool, len(keys))}
+		rest = make([]int, 0, len(keys))
+		for i, k := range keys {
+			if o, ok := s.probeLocked(k); ok {
+				if !o.Deleted() {
+					out.vals[i], out.found[i] = o.Val, true
+				}
+				continue
+			}
+			rest = append(rest, i)
+		}
+	}
+	cur := s.gen
+	moved := cur != ss.gen
+	if moved {
+		cur.refs.Add(1)
+	}
+	s.mu.RUnlock()
+	if moved {
+		if err := ss.repin(cur); err != nil {
+			return 0, false, nil, err
+		}
+	}
+	if keys == nil {
+		v, f, err := ss.sess.Get(key)
+		return v, f, nil, err
+	}
+	if len(rest) > 0 {
+		sub := make([]uint64, len(rest))
+		for j, i := range rest {
+			sub[j] = keys[i]
+		}
+		v2, f2, err := ss.sess.GetBatch(sub)
+		if err != nil {
+			return 0, false, nil, err
+		}
+		for j, i := range rest {
+			out.vals[i], out.found[i] = v2[j], f2[j]
+		}
+	}
+	return 0, false, out, nil
+}
+
+// Close releases the session's budget and its generation pin.
+func (ss *Session) Close() error {
+	if ss.closed {
+		return nil
+	}
+	ss.closed = true
+	var err error
+	if ss.sess != nil {
+		err = ss.sess.Close()
+	}
+	ss.s.releaseGen(ss.gen)
+	return err
+}

@@ -1,0 +1,503 @@
+// Package store composes the module's write-optimal and read-optimal
+// halves into an online updatable key-value index — the LSM shape the
+// survey's buffer-tree section points at. Inserts and deletes are absorbed
+// by a buffer-tree write front at amortised O((1/B)·log_m n) I/Os per
+// operation; when the front crosses a configurable threshold it is frozen
+// and drained in the background: the front's resolved, tombstone-carrying
+// run (buffertree.SealOps) merges with a scan of the current B-tree
+// generation (stream.Patch) through the write-behind bulk loader into a
+// fresh generation at Θ(n/B) I/Os, and readers swap over atomically.
+//
+// Reads stay consistent throughout: Get, GetBatch, and Scan consult the
+// unsealed front, the sealed front awaiting handover, and the current
+// generation, newest layer first — each key's newest operation wins, so a
+// drain is observationally a no-op. The two fronts' resolved operations
+// are mirrored in memory (bounded by the seal threshold), so the overlay
+// costs no I/O and read throughput holds through a drain.
+// Generations are reference-counted: in-flight Scanners and Sessions keep
+// their generation alive until they close, and a superseded generation's
+// blocks are reclaimed (btree.Tree.Release) when its last reader departs.
+package store
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"em/internal/btree"
+	"em/internal/buffertree"
+	"em/internal/pdm"
+	"em/internal/record"
+	"em/internal/stream"
+)
+
+// ErrClosed reports an operation on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+const opBytes = 24 // encoded size of one buffered operation
+
+// Config tunes the store.
+type Config struct {
+	// FrontOps seals the write front after this many buffered operations.
+	// Zero picks FrontBytes/24 if FrontBytes is set, else 8192. Besides the
+	// front's on-disk buffers, the store mirrors the front's resolved
+	// operations in memory (24 bytes each, the buffer tree's root-mirror
+	// idea extended to the bounded front), so FrontOps also bounds that
+	// overlay: at most two fronts' worth while a drain is in flight.
+	FrontOps int64
+	// FrontBytes seals the write front after this many buffered bytes
+	// (24 per operation). Zero defers to FrontOps.
+	FrontBytes int64
+	// CacheFrames sizes each generation's buffer manager and the drain's
+	// loader cache. Zero means 8; minimum 3.
+	CacheFrames int
+	// Width is the striping width of reader scans and batched lookups;
+	// zero picks the volume's disk count.
+	Width int
+	// DrainWidth is the stripe width of the background drain's streams
+	// (the generation scan, the run reader, and the write-behind loader).
+	// Zero picks half of Width, minimum 1: a handover that kept Width
+	// reads in flight would queue foreground lookups behind the rebuild
+	// on every disk, and serving during the drain is the point.
+	DrainWidth int
+	// Front shapes the buffer tree (fanout, per-node buffer). Zero-valued
+	// fields default to fanout 8 and a four-block buffer; StartSeq is
+	// managed by the store.
+	Front buffertree.Config
+}
+
+// generation is one immutable B-tree the store serves reads from. Point
+// reads through the tree's own buffer manager are serialized by mu (the
+// cache is not thread-safe); Sessions bypass it with private caches. refs
+// counts the store's view plus every in-flight Scanner, Session, and
+// drain; the tree's blocks are reclaimed when it hits zero.
+type generation struct {
+	tree  *btree.Tree
+	epoch uint64
+	mu    sync.Mutex
+	refs  atomic.Int64
+}
+
+// Store is an online read-write key-value store. All methods are safe for
+// concurrent use; the background drain runs beside foreground reads and
+// writes.
+type Store struct {
+	vol  *pdm.Volume
+	pool *pdm.Pool
+	cfg  Config
+
+	sealOps int64 // effective front threshold in ops
+
+	// The drain's construction budget, reserved once at Open (the
+	// pipeline.SortIndex pattern): the background rebuild draws from its
+	// own pool, so foreground readers never lose frames to it and a
+	// too-small pool fails at Open, not mid-drain.
+	drainPool *pdm.Pool
+	reserve   []*pdm.Frame
+
+	// mu guards the layered read view below. Readers hold RLock across
+	// their overlay probes; all view swaps (write-front seal, generation
+	// handover) happen under Lock, so a reader always sees one consistent
+	// layering. frontMap and sealedMap mirror the two fronts' resolved
+	// operations in memory — newest op per key — so overlay probes and
+	// range collections cost no I/O: the disk-resident buffers are the
+	// durable, write-optimal copy, the maps the bounded read path.
+	// sealedMap is non-nil exactly while a sealed front awaits handover.
+	mu        sync.RWMutex
+	front     *buffertree.Tree // unsealed write front
+	frontMap  map[uint64]buffertree.Op
+	sealed    *buffertree.Tree // frozen front, until its drain retires it
+	sealedMap map[uint64]buffertree.Op
+	gen       *generation // current B-tree generation
+	draining  bool
+	drainDone chan struct{} // closed when the in-flight drain finishes
+	drainErr  error         // sticky: writes fail after a failed drain
+	drains    int64
+	closed    bool
+
+	wg sync.WaitGroup // in-flight drain goroutines
+
+	errMu sync.Mutex
+	bgErr error // background release errors, surfaced by Close
+}
+
+// Open creates a store on vol whose steady-state frames are drawn from
+// pool. The drain budget (2·CacheFrames + 6·Width + 2 frames) is reserved
+// from pool immediately and held until Close; the pool additionally
+// serves each generation's cache, the front's buffers, and per-reader
+// frames, so size it with headroom beyond the reservation.
+func Open(vol *pdm.Volume, pool *pdm.Pool, cfg Config) (*Store, error) {
+	if cfg.CacheFrames == 0 {
+		cfg.CacheFrames = 8
+	}
+	if cfg.CacheFrames < 3 {
+		cfg.CacheFrames = 3
+	}
+	if cfg.Width < 1 {
+		cfg.Width = vol.Disks()
+	}
+	if cfg.DrainWidth < 1 {
+		cfg.DrainWidth = cfg.Width / 2
+		if cfg.DrainWidth < 1 {
+			cfg.DrainWidth = 1
+		}
+	}
+	if cfg.Front.Fanout == 0 {
+		cfg.Front.Fanout = 8
+	}
+	if cfg.Front.BufferRecords == 0 {
+		cfg.Front.BufferRecords = 4 * (vol.BlockBytes() / opBytes)
+	}
+	sealOps := cfg.FrontOps
+	if sealOps <= 0 {
+		if cfg.FrontBytes > 0 {
+			sealOps = cfg.FrontBytes / opBytes
+		} else {
+			sealOps = 8192
+		}
+	}
+	if sealOps < 1 {
+		sealOps = 1
+	}
+	drainFrames := 2*cfg.CacheFrames + 6*cfg.Width + 2
+	reserve, err := pool.AllocN(drainFrames)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		vol:       vol,
+		pool:      pool,
+		cfg:       cfg,
+		sealOps:   sealOps,
+		drainPool: pdm.NewPool(vol.BlockBytes(), drainFrames),
+		reserve:   reserve,
+	}
+	tree, err := btree.New(vol, pool, cfg.CacheFrames)
+	if err != nil {
+		pdm.ReleaseAll(reserve)
+		return nil, err
+	}
+	s.gen = &generation{tree: tree, epoch: 1}
+	s.gen.refs.Store(1)
+	front, err := s.newFront(0)
+	if err != nil {
+		tree.Release()
+		pdm.ReleaseAll(reserve)
+		return nil, err
+	}
+	s.front = front
+	s.frontMap = make(map[uint64]buffertree.Op)
+	return s, nil
+}
+
+func (s *Store) newFront(startSeq uint64) (*buffertree.Tree, error) {
+	fc := s.cfg.Front
+	fc.StartSeq = startSeq
+	return buffertree.New(s.vol, s.pool, fc)
+}
+
+// Insert buffers an insertion of (key, val); later operations on the same
+// key win. Crossing the front threshold triggers a background drain.
+func (s *Store) Insert(key, val uint64) error {
+	return s.update(key, val, false)
+}
+
+// Delete buffers a deletion of key; deleting an absent key is a no-op.
+func (s *Store) Delete(key uint64) error {
+	return s.update(key, 0, true)
+}
+
+func (s *Store) update(key, val uint64, del bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.drainErr != nil {
+		return s.drainErr
+	}
+	var err error
+	if del {
+		err = s.front.Delete(key)
+	} else {
+		err = s.front.Insert(key, val)
+	}
+	if err != nil {
+		return err
+	}
+	// Mirror the operation the front just accepted: its sequence number is
+	// the front's newest, encoded as the buffer tree does.
+	op := buffertree.Op{Key: key, Val: val, Seq: s.front.LastSeq() << 1}
+	if del {
+		op.Seq |= 1
+	}
+	s.frontMap[key] = op
+	s.maybeSealLocked()
+	return nil
+}
+
+func (s *Store) overLocked() bool {
+	return s.front.Ops() >= s.sealOps
+}
+
+func (s *Store) maybeSealLocked() {
+	if s.draining || s.sealedMap != nil || !s.overLocked() {
+		return
+	}
+	s.sealLocked()
+}
+
+// sealLocked freezes the current front, swaps in a fresh one continuing
+// the sequence numbering, and starts the background drain. Caller holds
+// mu exclusively.
+func (s *Store) sealLocked() {
+	old := s.front
+	if err := old.Freeze(); err != nil {
+		s.drainErr = err
+		return
+	}
+	next, err := s.newFront(old.LastSeq())
+	if err != nil {
+		s.drainErr = err
+		return
+	}
+	s.front = next
+	s.sealed = old
+	s.sealedMap = s.frontMap
+	s.frontMap = make(map[uint64]buffertree.Op)
+	s.draining = true
+	done := make(chan struct{})
+	s.drainDone = done
+	gen := s.gen
+	gen.refs.Add(1)
+	s.wg.Add(1)
+	go s.drain(old, gen, done)
+}
+
+// drain runs one background drain to completion, then retriggers if the
+// new front already crossed the threshold while the drain ran.
+func (s *Store) drain(front *buffertree.Tree, gen *generation, done chan struct{}) {
+	defer s.wg.Done()
+	err := s.drainOnce(front, gen)
+	s.mu.Lock()
+	s.draining = false
+	if err != nil && s.drainErr == nil {
+		s.drainErr = err
+	}
+	if err == nil && s.drainErr == nil && !s.closed && s.overLocked() {
+		s.sealLocked()
+	}
+	s.mu.Unlock()
+	s.releaseGen(gen)
+	close(done)
+}
+
+// drainOnce is one front handover: seal the frozen front to a sorted run,
+// release the front's buffers (the in-memory sealedMap keeps serving its
+// contents to readers throughout), rebuild the next generation from
+// run ⊕ current generation on the private drain budget, and swap readers
+// over, retiring the sealedMap in the same swap.
+func (s *Store) drainOnce(front *buffertree.Tree, gen *generation) error {
+	run, err := front.SealOps()
+	if err != nil {
+		// The frozen front keeps its buffers (SealOps failure is
+		// non-destructive); Close releases them. Reads stay correct off
+		// the sealedMap ⊕ generation; writes fail sticky.
+		return err
+	}
+	s.mu.Lock()
+	s.sealed = nil
+	s.mu.Unlock()
+	front.ReleaseBuffers()
+
+	tree, err := s.buildGen(gen, run)
+	if err != nil {
+		// Reads remain correct (frontMap ⊕ sealedMap ⊕ generation) even
+		// though the store no longer accepts writes.
+		run.Release()
+		return err
+	}
+	run.Release()
+	next := &generation{tree: tree, epoch: gen.epoch + 1}
+	next.refs.Store(1)
+	s.mu.Lock()
+	oldGen := s.gen
+	s.gen = next
+	s.sealedMap = nil
+	s.drains++
+	s.mu.Unlock()
+	s.releaseGen(oldGen)
+	return nil
+}
+
+// buildGen merges the sealed run into a scan of the current generation and
+// bulk-loads the result into a fresh tree, entirely on the drain budget
+// and at DrainWidth striping so foreground lookups keep disk headroom;
+// the finished tree is rehomed onto the store's pool and warmed so
+// descents after the swap are memory hits.
+func (s *Store) buildGen(gen *generation, run *buffertree.Run) (*btree.Tree, error) {
+	w := s.cfg.DrainWidth
+	gen.mu.Lock()
+	sess, err := gen.tree.NewSession(s.drainPool, s.cfg.CacheFrames, w)
+	gen.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
+	base, err := sess.NewScanner(0, ^uint64(0), nil)
+	if err != nil {
+		return nil, err
+	}
+	delta, err := stream.OpenSource(run.File(), s.drainPool, w, true)
+	if err != nil {
+		base.Close()
+		return nil, err
+	}
+	patch := stream.NewPatch(base, delta,
+		func(o buffertree.Op) uint64 { return o.Key },
+		func(o buffertree.Op) (record.Record, bool) {
+			return record.Record{Key: o.Key, Val: o.Val}, !o.Deleted()
+		})
+	tree, err := btree.BulkLoadFrom(s.vol, s.drainPool, s.cfg.CacheFrames, patch,
+		&btree.BulkLoadOptions{Width: w, Async: true, WriteBehind: true})
+	patch.Close()
+	if err != nil {
+		return nil, err
+	}
+	if err := tree.Rehome(s.pool, s.cfg.CacheFrames); err != nil {
+		tree.Release()
+		return nil, err
+	}
+	if err := tree.Warm(); err != nil {
+		tree.Release()
+		return nil, err
+	}
+	return tree, nil
+}
+
+// releaseGen drops one reference; the last one out reclaims the tree.
+func (s *Store) releaseGen(g *generation) {
+	if g.refs.Add(-1) == 0 {
+		if err := g.tree.Release(); err != nil {
+			s.noteErr(err)
+		}
+	}
+}
+
+func (s *Store) noteErr(err error) {
+	s.errMu.Lock()
+	if s.bgErr == nil {
+		s.bgErr = err
+	}
+	s.errMu.Unlock()
+}
+
+// StartDrain seals the current front and starts a background drain if one
+// is not already in flight; it reports whether a drain is now running.
+func (s *Store) StartDrain() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.drainErr != nil {
+		return false
+	}
+	if !s.draining && s.sealedMap == nil && s.front.Ops() > 0 {
+		s.sealLocked()
+	}
+	return s.draining
+}
+
+// Draining reports whether a background drain is in flight.
+func (s *Store) Draining() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.draining
+}
+
+// Drain flushes everything buffered at the time of the call into the
+// current generation and waits for quiescence.
+func (s *Store) Drain() error {
+	for {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return ErrClosed
+		}
+		if s.drainErr != nil {
+			err := s.drainErr
+			s.mu.Unlock()
+			return err
+		}
+		if !s.draining && s.sealedMap == nil {
+			if s.front.Ops() == 0 {
+				s.mu.Unlock()
+				return nil
+			}
+			s.sealLocked()
+		}
+		done := s.drainDone
+		draining := s.draining
+		s.mu.Unlock()
+		if draining && done != nil {
+			<-done
+		}
+	}
+}
+
+// Epoch returns the current generation's number, starting at 1.
+func (s *Store) Epoch() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.gen.epoch
+}
+
+// Drains returns the number of completed front drains.
+func (s *Store) Drains() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.drains
+}
+
+// FrontOps returns the number of operations buffered in the unsealed
+// front.
+func (s *Store) FrontOps() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.front.Ops()
+}
+
+// Close waits for any in-flight drain, releases every layer of the view,
+// and returns the drain reservation. Generations pinned by still-open
+// Scanners or Sessions are reclaimed when those close. The first sticky
+// drain or background-release error is returned.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.wg.Wait()
+
+	s.mu.Lock()
+	s.front.ReleaseBuffers()
+	if s.sealed != nil {
+		s.sealed.ReleaseBuffers()
+		s.sealed = nil
+	}
+	s.frontMap, s.sealedMap = nil, nil
+	gen := s.gen
+	s.gen = nil
+	err := s.drainErr
+	s.mu.Unlock()
+
+	s.releaseGen(gen)
+	pdm.ReleaseAll(s.reserve)
+	s.reserve = nil
+	if err != nil {
+		return err
+	}
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.bgErr
+}

@@ -1,0 +1,452 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"em/internal/buffertree"
+	"em/internal/pdm"
+)
+
+func testConfig() pdm.Config {
+	return pdm.Config{BlockBytes: 512, MemBlocks: 96, Disks: 2}
+}
+
+func storeConfig() Config {
+	return Config{
+		FrontOps:    100,
+		CacheFrames: 4,
+		Width:       2,
+		Front:       buffertree.Config{Fanout: 4, BufferRecords: 32},
+	}
+}
+
+// forEachBackend runs fn against a memory-backed and a file-backed volume
+// of identical shape, mirroring the pdm, stream, and btree harnesses.
+func forEachBackend(t *testing.T, cfg pdm.Config, fn func(t *testing.T, vol *pdm.Volume, pool *pdm.Pool)) {
+	t.Helper()
+	t.Run("mem", func(t *testing.T) {
+		vol := pdm.MustVolume(cfg)
+		defer vol.Close()
+		fn(t, vol, pdm.PoolFor(vol))
+	})
+	t.Run("file", func(t *testing.T) {
+		c := cfg
+		c.Dir = t.TempDir()
+		vol := pdm.MustVolume(c)
+		defer func() {
+			if err := vol.Close(); err != nil {
+				t.Errorf("close: %v", err)
+			}
+		}()
+		fn(t, vol, pdm.PoolFor(vol))
+	})
+}
+
+func scanAll(t *testing.T, s *Store) map[uint64]uint64 {
+	t.Helper()
+	sc, err := s.Scan(0, ^uint64(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	got := map[uint64]uint64{}
+	last := int64(-1)
+	for {
+		r, ok, err := sc.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if int64(r.Key) <= last {
+			t.Fatalf("scan out of order: %d after %d", r.Key, last)
+		}
+		last = int64(r.Key)
+		got[r.Key] = r.Val
+	}
+	return got
+}
+
+// TestStoreQuickMatchesMap drives a random interleaving of inserts,
+// deletes, and drains against an in-memory reference map, checking point
+// reads along the way and the full scan at the end — on both backends.
+func TestStoreQuickMatchesMap(t *testing.T) {
+	forEachBackend(t, testConfig(), func(t *testing.T, vol *pdm.Volume, pool *pdm.Pool) {
+		s, err := Open(vol, pool, storeConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(42))
+		ref := map[uint64]uint64{}
+		const keySpace = 120
+		for i := 0; i < 2500; i++ {
+			k := uint64(rng.Intn(keySpace))
+			switch rng.Intn(4) {
+			case 0:
+				if err := s.Delete(k); err != nil {
+					t.Fatal(err)
+				}
+				delete(ref, k)
+			default:
+				v := uint64(rng.Intn(1 << 30))
+				if err := s.Insert(k, v); err != nil {
+					t.Fatal(err)
+				}
+				ref[k] = v
+			}
+			if rng.Intn(200) == 0 {
+				if err := s.Drain(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if rng.Intn(10) == 0 {
+				q := uint64(rng.Intn(keySpace))
+				v, ok, err := s.Get(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, wok := ref[q]
+				if ok != wok || (ok && v != want) {
+					t.Fatalf("op %d: Get(%d) = (%d,%v), want (%d,%v)", i, q, v, ok, want, wok)
+				}
+			}
+		}
+		// Batched lookups over the whole key space.
+		keys := make([]uint64, keySpace)
+		for i := range keys {
+			keys[i] = uint64(i)
+		}
+		vals, found, err := s.GetBatch(keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, k := range keys {
+			want, wok := ref[k]
+			if found[i] != wok || (wok && vals[i] != want) {
+				t.Fatalf("GetBatch(%d) = (%d,%v), want (%d,%v)", k, vals[i], found[i], want, wok)
+			}
+		}
+		// Scan before quiescing (layers still populated), then after.
+		for pass := 0; pass < 2; pass++ {
+			got := scanAll(t, s)
+			if len(got) != len(ref) {
+				t.Fatalf("pass %d: scan found %d keys, want %d", pass, len(got), len(ref))
+			}
+			for k, v := range ref {
+				if got[k] != v {
+					t.Fatalf("pass %d: scan[%d] = %d, want %d", pass, k, got[k], v)
+				}
+			}
+			if pass == 0 {
+				if err := s.Drain(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if s.Drains() == 0 {
+			t.Fatal("no drain ever ran; thresholds too loose for the test to mean anything")
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if got := pool.InUse(); got != 0 {
+			t.Fatalf("pool leak: %d frames in use after close", got)
+		}
+		if live := vol.Allocated() - vol.FreeBlocks(); live != 0 {
+			t.Fatalf("block leak: %d live blocks after close", live)
+		}
+	})
+}
+
+// TestStoreDeleteEverything checks tombstone cancellation end to end: a
+// drained store whose every key was deleted serves an empty scan and an
+// empty next generation.
+func TestStoreDeleteEverything(t *testing.T) {
+	forEachBackend(t, testConfig(), func(t *testing.T, vol *pdm.Volume, pool *pdm.Pool) {
+		s, err := Open(vol, pool, storeConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 300
+		for k := uint64(0); k < n; k++ {
+			if err := s.Insert(k, k*3); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		for k := uint64(0); k < n; k++ {
+			if err := s.Delete(k); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		if got := scanAll(t, s); len(got) != 0 {
+			t.Fatalf("scan after deleting everything found %d keys", len(got))
+		}
+		for _, k := range []uint64{0, 1, n - 1, n / 2} {
+			if _, ok, err := s.Get(k); err != nil || ok {
+				t.Fatalf("Get(%d) after delete-all = ok=%v err=%v", k, ok, err)
+			}
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if live := vol.Allocated() - vol.FreeBlocks(); live != 0 {
+			t.Fatalf("block leak: %d live blocks after close", live)
+		}
+	})
+}
+
+// TestStoreScannerSnapshot opens a scanner, then mutates and drains the
+// store underneath it; the scanner must deliver exactly the records that
+// existed at open time (the drain handover may not disturb it).
+func TestStoreScannerSnapshot(t *testing.T) {
+	forEachBackend(t, testConfig(), func(t *testing.T, vol *pdm.Volume, pool *pdm.Pool) {
+		s, err := Open(vol, pool, storeConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := map[uint64]uint64{}
+		for k := uint64(0); k < 400; k++ {
+			if err := s.Insert(k, k+7); err != nil {
+				t.Fatal(err)
+			}
+			ref[k] = k + 7
+		}
+		if err := s.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		// Leave updates buffered in the front so the snapshot spans layers.
+		for k := uint64(0); k < 50; k++ {
+			if err := s.Delete(k); err != nil {
+				t.Fatal(err)
+			}
+			delete(ref, k)
+		}
+		sc, err := s.Scan(0, ^uint64(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Mutate heavily after the snapshot, forcing drains and a
+		// generation handover while the scanner is mid-flight.
+		for k := uint64(0); k < 400; k++ {
+			if err := s.Insert(k, 999999); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		want := make([]uint64, 0, len(ref))
+		for k := range ref {
+			want = append(want, k)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for _, k := range want {
+			r, ok, err := sc.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok || r.Key != k || r.Val != ref[k] {
+				t.Fatalf("snapshot scan: got (%d,%d,%v), want (%d,%d)", r.Key, r.Val, ok, k, ref[k])
+			}
+		}
+		if _, ok, err := sc.Next(); err != nil || ok {
+			t.Fatalf("snapshot scan should be exhausted, ok=%v err=%v", ok, err)
+		}
+		sc.Close()
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if got := pool.InUse(); got != 0 {
+			t.Fatalf("pool leak: %d frames in use after close", got)
+		}
+		if live := vol.Allocated() - vol.FreeBlocks(); live != 0 {
+			t.Fatalf("block leak: %d live blocks after close", live)
+		}
+	})
+}
+
+// TestStoreSessionAcrossDrain checks that a Session stays read-your-writes
+// across generation handovers: keys that migrate from the front into a new
+// generation must remain visible through the same session.
+func TestStoreSessionAcrossDrain(t *testing.T) {
+	forEachBackend(t, testConfig(), func(t *testing.T, vol *pdm.Volume, pool *pdm.Pool) {
+		s, err := Open(vol, pool, storeConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := uint64(0); k < 200; k++ {
+			if err := s.Insert(k, k); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		sess, err := s.NewSession(0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, ok, err := sess.Get(10); err != nil || !ok || v != 10 {
+			t.Fatalf("session Get(10) = (%d,%v,%v)", v, ok, err)
+		}
+		epoch := s.Epoch()
+		for k := uint64(200); k < 500; k++ {
+			if err := s.Insert(k, k*2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		if s.Epoch() == epoch {
+			t.Fatal("drain did not advance the epoch")
+		}
+		// 250 moved front -> generation; the session must re-pin and see it.
+		if v, ok, err := sess.Get(250); err != nil || !ok || v != 500 {
+			t.Fatalf("session Get(250) after handover = (%d,%v,%v)", v, ok, err)
+		}
+		vals, found, err := sess.GetBatch([]uint64{10, 250, 900})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found[0] || vals[0] != 10 || !found[1] || vals[1] != 500 || found[2] {
+			t.Fatalf("session GetBatch = %v %v", vals, found)
+		}
+		if err := sess.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if got := pool.InUse(); got != 0 {
+			t.Fatalf("pool leak: %d frames in use after close", got)
+		}
+		if live := vol.Allocated() - vol.FreeBlocks(); live != 0 {
+			t.Fatalf("block leak: %d live blocks after close", live)
+		}
+	})
+}
+
+// TestStoreReadsDuringDrain is the concurrency property behind the whole
+// design: reader goroutines observe a consistent view — stable keys always
+// present, per-key transitions monotone — while a writer forces seals,
+// background drains, and generation handovers. Run under -race (make ci)
+// it also checks the handover's memory ordering.
+func TestStoreReadsDuringDrain(t *testing.T) {
+	forEachBackend(t, testConfig(), func(t *testing.T, vol *pdm.Volume, pool *pdm.Pool) {
+		s, err := Open(vol, pool, storeConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		const stable = 200 // odd keys below are never touched again
+		for k := uint64(0); k < stable; k++ {
+			if err := s.Insert(k, k); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan struct{})
+		var wg sync.WaitGroup
+		errs := make(chan error, 8)
+		for r := 0; r < 4; r++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				gone := map[uint64]bool{}    // even stable keys observed deleted
+				arrived := map[uint64]bool{} // new keys observed present
+				for {
+					select {
+					case <-done:
+						return
+					default:
+					}
+					k := uint64(rng.Intn(2 * stable))
+					v, ok, err := s.Get(k)
+					if err != nil {
+						errs <- err
+						return
+					}
+					switch {
+					case k < stable && k%2 == 1:
+						if !ok || v != k {
+							errs <- errMismatch(k, v, ok)
+							return
+						}
+					case k < stable:
+						if ok && v != k {
+							errs <- errMismatch(k, v, ok)
+							return
+						}
+						if !ok {
+							gone[k] = true
+						} else if gone[k] {
+							errs <- errMismatch(k, v, ok) // deletion un-happened
+							return
+						}
+					default:
+						if ok && v != k*10 {
+							errs <- errMismatch(k, v, ok)
+							return
+						}
+						if ok {
+							arrived[k] = true
+						} else if arrived[k] {
+							errs <- errMismatch(k, v, ok) // insert un-happened
+							return
+						}
+					}
+				}
+			}(int64(r + 1))
+		}
+		// Writer: delete even stable keys, insert new keys, across several
+		// forced drains.
+		for k := uint64(0); k < stable; k += 2 {
+			if err := s.Delete(k); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Insert(stable+k, (stable+k)*10); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Insert(stable+k+1, (stable+k+1)*10); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		close(done)
+		wg.Wait()
+		select {
+		case err := <-errs:
+			t.Fatal(err)
+		default:
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if got := pool.InUse(); got != 0 {
+			t.Fatalf("pool leak: %d frames in use after close", got)
+		}
+		if live := vol.Allocated() - vol.FreeBlocks(); live != 0 {
+			t.Fatalf("block leak: %d live blocks after close", live)
+		}
+	})
+}
+
+func errMismatch(k, v uint64, ok bool) error {
+	return fmt.Errorf("inconsistent read during drain: key %d -> (%d, %v)", k, v, ok)
+}

@@ -1,0 +1,92 @@
+package stream
+
+import "em/internal/record"
+
+// Patch merges a key-sorted base of records with a key-sorted delta of
+// operations into one key-sorted record source — the generational merge at
+// the heart of an LSM-shaped store: base is the current B-tree
+// generation's scan, delta the sealed write front's resolved run, and the
+// output feeds the bulk loader of the next generation. On equal keys the
+// delta wins; a delta entry that materialises to nothing (a delete
+// tombstone) suppresses the base record and emits nothing. Delta entries
+// for keys absent from the base insert (or, for tombstones, vanish — a
+// delete of a never-inserted key is a no-op).
+//
+// The delta type is generic so this package does not depend on any one
+// operation encoding: key extracts the entry's key, and rec materialises
+// it as a record, returning false for tombstones.
+type Patch[D any] struct {
+	base  Source[record.Record]
+	delta Source[D]
+	key   func(D) uint64
+	rec   func(D) (record.Record, bool)
+
+	baseV   record.Record
+	baseOK  bool
+	deltaV  D
+	deltaOK bool
+	primed  bool
+	err     error
+}
+
+// NewPatch builds a Patch over base and delta. Both inputs must be sorted
+// by strictly increasing key; the output then is too, so it can drive
+// btree.BulkLoadFrom directly. Closing the patch closes both inputs.
+func NewPatch[D any](base Source[record.Record], delta Source[D], key func(D) uint64, rec func(D) (record.Record, bool)) *Patch[D] {
+	return &Patch[D]{base: base, delta: delta, key: key, rec: rec}
+}
+
+func (p *Patch[D]) advanceBase() {
+	p.baseV, p.baseOK, p.err = p.base.Next()
+}
+
+func (p *Patch[D]) advanceDelta() {
+	p.deltaV, p.deltaOK, p.err = p.delta.Next()
+}
+
+// Next returns the next merged record.
+func (p *Patch[D]) Next() (record.Record, bool, error) {
+	if p.err != nil {
+		return record.Record{}, false, p.err
+	}
+	if !p.primed {
+		p.primed = true
+		if p.advanceBase(); p.err != nil {
+			return record.Record{}, false, p.err
+		}
+		if p.advanceDelta(); p.err != nil {
+			return record.Record{}, false, p.err
+		}
+	}
+	for {
+		if p.deltaOK && (!p.baseOK || p.key(p.deltaV) <= p.baseV.Key) {
+			d := p.deltaV
+			if p.baseOK && p.baseV.Key == p.key(d) {
+				if p.advanceBase(); p.err != nil {
+					return record.Record{}, false, p.err
+				}
+			}
+			if p.advanceDelta(); p.err != nil {
+				return record.Record{}, false, p.err
+			}
+			if r, ok := p.rec(d); ok {
+				return r, true, nil
+			}
+			continue // tombstone: the shadowed base record (if any) is gone
+		}
+		if p.baseOK {
+			r := p.baseV
+			if p.advanceBase(); p.err != nil {
+				return record.Record{}, false, p.err
+			}
+			return r, true, nil
+		}
+		return record.Record{}, false, nil
+	}
+}
+
+// Close closes both inputs.
+func (p *Patch[D]) Close() {
+	p.base.Close()
+	p.delta.Close()
+}

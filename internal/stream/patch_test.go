@@ -1,0 +1,165 @@
+package stream
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"em/internal/record"
+)
+
+// sliceSource adapts a slice to Source for merge tests.
+type sliceSource[T any] struct {
+	items  []T
+	i      int
+	err    error // returned once position errAt is reached, if set
+	errAt  int
+	closed bool
+}
+
+func (s *sliceSource[T]) Next() (T, bool, error) {
+	var zero T
+	if s.err != nil && s.i >= s.errAt {
+		return zero, false, s.err
+	}
+	if s.i >= len(s.items) {
+		return zero, false, nil
+	}
+	v := s.items[s.i]
+	s.i++
+	return v, true, nil
+}
+
+func (s *sliceSource[T]) Close() { s.closed = true }
+
+// deltaOp is a minimal op encoding for the generic delta side.
+type deltaOp struct {
+	key uint64
+	val uint64
+	del bool
+}
+
+func runPatch(t *testing.T, base []record.Record, delta []deltaOp) []record.Record {
+	t.Helper()
+	b := &sliceSource[record.Record]{items: base}
+	d := &sliceSource[deltaOp]{items: delta}
+	p := NewPatch[deltaOp](b, d,
+		func(o deltaOp) uint64 { return o.key },
+		func(o deltaOp) (record.Record, bool) {
+			return record.Record{Key: o.key, Val: o.val}, !o.del
+		})
+	var out []record.Record
+	for {
+		r, ok, err := p.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		out = append(out, r)
+	}
+	p.Close()
+	if !b.closed || !d.closed {
+		t.Fatal("Close did not close both inputs")
+	}
+	return out
+}
+
+func TestPatchMerge(t *testing.T) {
+	base := []record.Record{{Key: 1, Val: 10}, {Key: 3, Val: 30}, {Key: 5, Val: 50}, {Key: 7, Val: 70}}
+	delta := []deltaOp{
+		{key: 2, val: 200},  // insert between
+		{key: 3, val: 300},  // overwrite
+		{key: 5, del: true}, // delete existing
+		{key: 6, del: true}, // delete absent: no-op
+		{key: 9, val: 900},  // insert past end
+	}
+	got := runPatch(t, base, delta)
+	want := []record.Record{{Key: 1, Val: 10}, {Key: 2, Val: 200}, {Key: 3, Val: 300}, {Key: 7, Val: 70}, {Key: 9, Val: 900}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("at %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPatchEmptySides(t *testing.T) {
+	if got := runPatch(t, nil, nil); len(got) != 0 {
+		t.Fatalf("empty/empty yielded %v", got)
+	}
+	base := []record.Record{{Key: 1, Val: 1}, {Key: 2, Val: 2}}
+	if got := runPatch(t, base, nil); len(got) != 2 {
+		t.Fatalf("base-only yielded %v", got)
+	}
+	if got := runPatch(t, nil, []deltaOp{{key: 4, val: 4}, {key: 8, del: true}}); len(got) != 1 || got[0].Key != 4 {
+		t.Fatalf("delta-only yielded %v", got)
+	}
+}
+
+func TestPatchRandomAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		ref := map[uint64]uint64{}
+		var base []record.Record
+		for k := uint64(0); k < 64; k++ {
+			if rng.Intn(2) == 0 {
+				v := rng.Uint64()
+				base = append(base, record.Record{Key: k, Val: v})
+				ref[k] = v
+			}
+		}
+		var delta []deltaOp
+		for k := uint64(0); k < 64; k++ {
+			switch rng.Intn(3) {
+			case 0:
+				v := rng.Uint64()
+				delta = append(delta, deltaOp{key: k, val: v})
+				ref[k] = v
+			case 1:
+				delta = append(delta, deltaOp{key: k, del: true})
+				delete(ref, k)
+			}
+		}
+		got := runPatch(t, base, delta)
+		var wantKeys []uint64
+		for k := range ref {
+			wantKeys = append(wantKeys, k)
+		}
+		sort.Slice(wantKeys, func(i, j int) bool { return wantKeys[i] < wantKeys[j] })
+		if len(got) != len(wantKeys) {
+			t.Fatalf("trial %d: %d records, want %d", trial, len(got), len(wantKeys))
+		}
+		for i, k := range wantKeys {
+			if got[i].Key != k || got[i].Val != ref[k] {
+				t.Fatalf("trial %d: at %d got %v, want key %d val %d", trial, i, got[i], k, ref[k])
+			}
+		}
+	}
+}
+
+func TestPatchStickyError(t *testing.T) {
+	boom := errors.New("boom")
+	b := &sliceSource[record.Record]{items: []record.Record{{Key: 1}, {Key: 2}, {Key: 3}}, err: boom, errAt: 2}
+	d := &sliceSource[deltaOp]{}
+	p := NewPatch[deltaOp](b, d,
+		func(o deltaOp) uint64 { return o.key },
+		func(o deltaOp) (record.Record, bool) { return record.Record{Key: o.key, Val: o.val}, !o.del })
+	var err error
+	for i := 0; i < 10; i++ {
+		if _, _, err = p.Next(); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("error not surfaced: %v", err)
+	}
+	if _, ok, err2 := p.Next(); ok || !errors.Is(err2, boom) {
+		t.Fatal("error not sticky")
+	}
+	p.Close()
+}
