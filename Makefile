@@ -6,7 +6,12 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench bench-json ci
+# Pinned lint/vuln tool versions — CI installs exactly these (never
+# @latest, so a tool release cannot break the gate under anyone's feet).
+STATICCHECK_VERSION ?= 2024.1.1
+GOVULNCHECK_VERSION ?= v1.1.3
+
+.PHONY: all build vet lint emlint staticcheck govulncheck tools test race cover bench bench-json ci
 
 all: ci
 
@@ -16,18 +21,50 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Lint is gofmt cleanliness plus vet; CI fails if either flags anything.
-lint:
+# Lint is gofmt cleanliness, vet, the repo's own emlint analyzers, and
+# staticcheck when installed; CI fails if any of them flags anything.
+lint: emlint staticcheck
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
 	fi
 	$(GO) vet ./...
 
+# The in-repo analyzers (cmd/emlint): poolbalance, pinpair, joinasync,
+# closesink — the I/O-accounting disciplines. See CONTRIBUTING.md.
+emlint:
+	$(GO) run ./cmd/emlint ./...
+
+# Gates in CI (which installs the pinned version via `make tools`); a dev
+# box without the binary skips rather than fails, since the container may
+# be offline.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (run 'make tools')"; \
+	fi
+
+# Non-gating everywhere: vulnerability reports inform, new CVE disclosures
+# must not break unrelated merges.
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (run 'make tools')"; \
+	fi
+
+# Install the pinned tool versions (needs network; CI runs this).
+tools:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+	$(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
+
 test:
 	$(GO) test ./...
 
+# -shuffle=on randomises test order within each package, so a test that
+# leaks state into a sibling fails here instead of in a user's tree.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # Coverage profile across every package, with a per-function summary.
 cover:

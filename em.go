@@ -137,6 +137,34 @@
 // holds while the rebuild runs — experiment F13 gates the write
 // amortisation and the in-drain read QPS. See examples/kvstore.
 //
+// # Invariants
+//
+// Four resource disciplines keep the I/O accounting exact, and every
+// algorithm in the module hand-enforces them:
+//
+//   - Pool balance: every frame handed out by a Pool (Alloc, MustAlloc,
+//     AllocN) reaches Release or ReleaseAll on every path to return —
+//     including error unwinds — so the memory budget M stays exact and
+//     pool exhaustion is a caller bug, never a leak.
+//   - Pin pairing: every page pinned by a buffer manager (Get, GetNew,
+//     Peek, GetBatchAsync) is unpinned on every path; a page whose pin
+//     count never returns to zero can never be evicted, which silently
+//     shrinks the cache until admission fails.
+//   - Async joins: every dispatched batch (BatchReadAsync,
+//     BatchWriteAsync, GetBatchAsync's join) is joined before returning,
+//     so no I/O is silently abandoned and no buffer is mutated behind its
+//     owner's back.
+//   - Stream lifecycle: every opened Reader, Writer, Scanner, Session and
+//     Cache is closed on every path; these hold frames and pins, so a
+//     handle dropped on an unwind leaks part of the budget.
+//
+// These are machine-checked: cmd/emlint is a static analyzer suite
+// (poolbalance, pinpair, joinasync, closesink) that proves them per
+// function over the whole module, runs from `make lint`, gates CI, and is
+// pinned by a repo-wide test. A deliberate ownership handoff the analysis
+// cannot see is annotated `//emlint:owns: <why>` at the acquisition; see
+// CONTRIBUTING.md.
+//
 // # File-backed volumes
 //
 // Where a volume's blocks live is pluggable through the Backend seam: the

@@ -100,6 +100,7 @@ func sortMergeJoin(vol *em.Volume, pool *em.Pool, orders, events *em.File[em.Rec
 	if err != nil {
 		return nil, err
 	}
+	defer w.Close()
 	or, err := em.NewReader(so, pool)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,217 @@
+// Package analysistest runs an analyzer over fixture packages under a
+// testdata/src directory and checks its diagnostics against `// want`
+// comments, mirroring x/tools' package of the same name. A want comment
+// holds one or more quoted regular expressions:
+//
+//	f, err := pool.Alloc() // want `pool frame .* not released`
+//
+// Every diagnostic on a line must match a want on that line and every want
+// must be matched by exactly one diagnostic, so fixtures pin both the
+// positives and the silences.
+//
+// Fixture packages are parsed and type-checked from testdata/src, imports
+// resolving to sibling fixture directories first (that is how the stubs
+// named pdm, cache, and stream stand in for the real packages: the
+// analyzers match types by defining-package basename) and to the standard
+// library via the source importer otherwise.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"em/internal/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// Run loads each fixture package under testdata/src, applies a, and checks
+// the diagnostics against the fixtures' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	ld := &loader{
+		src:  filepath.Join(testdata, "src"),
+		fset: token.NewFileSet(),
+		pkgs: map[string]*loaded{},
+	}
+	ld.fallback = importer.ForCompiler(ld.fset, "source", nil)
+	for _, path := range pkgs {
+		lp, err := ld.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture package %q: %v", path, err)
+		}
+		if len(lp.typeErrors) > 0 {
+			t.Fatalf("fixture package %q has type errors: %v", path, lp.typeErrors)
+		}
+		runOne(t, a, ld.fset, lp)
+	}
+}
+
+type loaded struct {
+	files      []*ast.File
+	pkg        *types.Package
+	info       *types.Info
+	typeErrors []error
+}
+
+type loader struct {
+	src      string
+	fset     *token.FileSet
+	pkgs     map[string]*loaded
+	fallback types.Importer
+}
+
+// Import implements types.Importer, resolving fixture-local packages
+// before the standard library.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if st, err := os.Stat(filepath.Join(ld.src, path)); err == nil && st.IsDir() {
+		lp, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return lp.pkg, nil
+	}
+	return ld.fallback.Import(path)
+}
+
+func (ld *loader) load(path string) (*loaded, error) {
+	if lp, ok := ld.pkgs[path]; ok {
+		return lp, nil
+	}
+	dir := filepath.Join(ld.src, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	lp := &loaded{}
+	ld.pkgs[path] = lp
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		lp.files = append(lp.files, f)
+	}
+	if len(lp.files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	lp.info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer: ld,
+		Error:    func(err error) { lp.typeErrors = append(lp.typeErrors, err) },
+	}
+	lp.pkg, _ = conf.Check(path, ld.fset, lp.files, lp.info)
+	return lp, nil
+}
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile("(\"(?:[^\"\\\\]|\\\\.)*\")|(`[^`]*`)")
+
+func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				const marker = "// want "
+				text := c.Text
+				i := strings.Index(text, marker)
+				if i < 0 {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllString(text[i+len(marker):], -1) {
+					var pat string
+					if strings.HasPrefix(m, "`") {
+						pat = strings.Trim(m, "`")
+					} else {
+						pat = strings.Trim(m, `"`)
+						pat = strings.ReplaceAll(pat, `\"`, `"`)
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", p, m, err)
+					}
+					wants = append(wants, &want{file: p.Filename, line: p.Line, rx: rx})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func runOne(t *testing.T, a *analysis.Analyzer, fset *token.FileSet, lp *loaded) {
+	t.Helper()
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     lp.files,
+		Pkg:       lp.pkg,
+		TypesInfo: lp.info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	wants := parseWants(t, fset, lp.files)
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != p.Filename || w.line != p.Line {
+				continue
+			}
+			if w.rx.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", p, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.rx)
+		}
+	}
+}

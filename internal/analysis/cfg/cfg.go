@@ -1,0 +1,373 @@
+// Package cfg builds an intraprocedural control-flow graph over a function
+// body's AST, the substrate for the pairing dataflow engine. It is a
+// deliberately small sibling of x/tools' go/cfg: blocks hold the statements
+// and branch-condition expressions executed straight-line, edges record the
+// controlling condition and its polarity so the dataflow can refine facts
+// like "err != nil on this edge", and all normal exits (returns and the
+// final fallthrough) converge on a single synthetic Exit block.
+//
+// Panicking statements (`panic(...)`, os.Exit, log.Fatal*, runtime.Goexit)
+// terminate their path without reaching Exit: a resource held on a panic
+// path is unwinding a programming error, not leaking I/O accounting, and
+// the repo's MustAlloc-style helpers rely on that reading.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// A Graph is the control-flow graph of one function body.
+type Graph struct {
+	Blocks []*Block
+	Entry  *Block
+	// Exit is the synthetic join of every normal return path. A resource
+	// still held on entry to Exit leaks on some path.
+	Exit *Block
+}
+
+// A Block is a straight-line sequence of AST nodes: simple statements,
+// branch-condition and case expressions, and range-statement headers.
+// Compound statements never appear whole (their pieces are distributed
+// across blocks), with the single exception of *ast.RangeStmt, which is
+// appended as its own header node.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []Edge
+}
+
+// An Edge is one control-flow transfer. When Cond is non-nil the edge is
+// taken iff Cond evaluates to CondTrue, letting dataflow refine state on
+// branches like `if err != nil`.
+type Edge struct {
+	To       *Block
+	Cond     ast.Expr
+	CondTrue bool
+}
+
+type loopTarget struct {
+	label      string
+	brk, cont  *Block
+	continueOK bool
+}
+
+type builder struct {
+	g       *Graph
+	targets []loopTarget
+	labels  map[string]*Block // goto targets (placeholder blocks)
+	// pendingLabel is the label of the LabeledStmt currently being
+	// entered, attached to the next loop/switch/select pushed.
+	pendingLabel string
+}
+
+// New builds the graph for body.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{}
+	b := &builder{g: g, labels: map[string]*Block{}}
+	g.Entry = b.newBlock()
+	g.Exit = b.newBlock()
+	end := b.stmtList(g.Entry, body.List)
+	if end != nil {
+		b.jump(end, g.Exit)
+	}
+	return g
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) jump(from, to *Block) {
+	from.Succs = append(from.Succs, Edge{To: to})
+}
+
+func (b *builder) branch(from, to *Block, cond ast.Expr, when bool) {
+	from.Succs = append(from.Succs, Edge{To: to, Cond: cond, CondTrue: when})
+}
+
+func (b *builder) stmtList(cur *Block, list []ast.Stmt) *Block {
+	for _, s := range list {
+		if cur == nil {
+			// Unreachable code (after return/break/...). Process it
+			// anyway in a fresh, never-entered block so goto labels
+			// inside it still resolve.
+			cur = b.newBlock()
+		}
+		cur = b.stmt(cur, s)
+	}
+	return cur
+}
+
+// stmt wires s into the graph starting at cur and returns the block where
+// control continues, or nil if s never falls through.
+func (b *builder) stmt(cur *Block, s ast.Stmt) *Block {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmtList(cur, s.List)
+
+	case *ast.LabeledStmt:
+		entry, ok := b.labels[s.Label.Name]
+		if !ok {
+			entry = b.newBlock()
+			b.labels[s.Label.Name] = entry
+		}
+		b.jump(cur, entry)
+		b.pendingLabel = s.Label.Name
+		return b.stmt(entry, s.Stmt)
+
+	case *ast.ReturnStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		b.jump(cur, b.g.Exit)
+		return nil
+
+	case *ast.BranchStmt:
+		return b.branchStmt(cur, s)
+
+	case *ast.ExprStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		if isTerminatingCall(s.X) {
+			return nil // panic/os.Exit path: no edge to Exit
+		}
+		return cur
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		cur.Nodes = append(cur.Nodes, s.Cond)
+		thenB := b.newBlock()
+		b.branch(cur, thenB, s.Cond, true)
+		done := b.newBlock()
+		thenEnd := b.stmt(thenB, s.Body)
+		if thenEnd != nil {
+			b.jump(thenEnd, done)
+		}
+		if s.Else != nil {
+			elseB := b.newBlock()
+			b.branch(cur, elseB, s.Cond, false)
+			elseEnd := b.stmt(elseB, s.Else)
+			if elseEnd != nil {
+				b.jump(elseEnd, done)
+			}
+		} else {
+			b.branch(cur, done, s.Cond, false)
+		}
+		return done
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		head := b.newBlock()
+		b.jump(cur, head)
+		body := b.newBlock()
+		done := b.newBlock()
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+			b.branch(head, body, s.Cond, true)
+			b.branch(head, done, s.Cond, false)
+		} else {
+			b.jump(head, body)
+		}
+		cont := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+			post.Nodes = append(post.Nodes, s.Post)
+			b.jump(post, head)
+			cont = post
+		}
+		b.push(label, done, cont, true)
+		bodyEnd := b.stmt(body, s.Body)
+		b.pop()
+		if bodyEnd != nil {
+			b.jump(bodyEnd, cont)
+		}
+		return done
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		b.jump(cur, head)
+		head.Nodes = append(head.Nodes, s) // header node: X + key/value binding
+		body := b.newBlock()
+		done := b.newBlock()
+		b.jump(head, body)
+		b.jump(head, done)
+		b.push(label, done, head, true)
+		bodyEnd := b.stmt(body, s.Body)
+		b.pop()
+		if bodyEnd != nil {
+			b.jump(bodyEnd, head)
+		}
+		return done
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		if s.Tag != nil {
+			cur.Nodes = append(cur.Nodes, s.Tag)
+		}
+		return b.switchBody(cur, label, s.Body)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		cur.Nodes = append(cur.Nodes, s.Assign)
+		return b.switchBody(cur, label, s.Body)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		done := b.newBlock()
+		b.push(label, done, nil, false)
+		for _, c := range s.Body.List {
+			clause := c.(*ast.CommClause)
+			cb := b.newBlock()
+			b.jump(cur, cb)
+			if clause.Comm != nil {
+				cb.Nodes = append(cb.Nodes, clause.Comm)
+			}
+			if end := b.stmtList(cb, clause.Body); end != nil {
+				b.jump(end, done)
+			}
+		}
+		b.pop()
+		return done
+
+	case *ast.GoStmt, *ast.DeferStmt, *ast.AssignStmt, *ast.DeclStmt,
+		*ast.SendStmt, *ast.IncDecStmt, *ast.EmptyStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		return cur
+
+	default:
+		cur.Nodes = append(cur.Nodes, s)
+		return cur
+	}
+}
+
+// switchBody wires the clauses of a switch or type switch.
+func (b *builder) switchBody(cur *Block, label string, body *ast.BlockStmt) *Block {
+	done := b.newBlock()
+	entries := make([]*Block, len(body.List))
+	for i := range body.List {
+		entries[i] = b.newBlock()
+	}
+	hasDefault := false
+	b.push(label, done, nil, false)
+	for i, c := range body.List {
+		clause := c.(*ast.CaseClause)
+		if clause.List == nil {
+			hasDefault = true
+		}
+		b.jump(cur, entries[i])
+		for _, e := range clause.List {
+			entries[i].Nodes = append(entries[i].Nodes, e)
+		}
+		var next *Block
+		if i+1 < len(entries) {
+			next = entries[i+1]
+		}
+		if end := b.clauseList(entries[i], clause.Body, next); end != nil {
+			b.jump(end, done)
+		}
+	}
+	b.pop()
+	if !hasDefault {
+		b.jump(cur, done)
+	}
+	return done
+}
+
+// clauseList is stmtList with a fallthrough target.
+func (b *builder) clauseList(cur *Block, list []ast.Stmt, fall *Block) *Block {
+	for _, s := range list {
+		if cur == nil {
+			cur = b.newBlock()
+		}
+		if br, ok := s.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH && fall != nil {
+			b.jump(cur, fall)
+			return nil
+		}
+		cur = b.stmt(cur, s)
+	}
+	return cur
+}
+
+func (b *builder) branchStmt(cur *Block, s *ast.BranchStmt) *Block {
+	name := ""
+	if s.Label != nil {
+		name = s.Label.Name
+	}
+	switch s.Tok {
+	case token.GOTO:
+		entry, ok := b.labels[name]
+		if !ok {
+			entry = b.newBlock()
+			b.labels[name] = entry
+		}
+		b.jump(cur, entry)
+		return nil
+	case token.BREAK:
+		for i := len(b.targets) - 1; i >= 0; i-- {
+			t := b.targets[i]
+			if name == "" || t.label == name {
+				b.jump(cur, t.brk)
+				return nil
+			}
+		}
+	case token.CONTINUE:
+		for i := len(b.targets) - 1; i >= 0; i-- {
+			t := b.targets[i]
+			if t.continueOK && (name == "" || t.label == name) {
+				b.jump(cur, t.cont)
+				return nil
+			}
+		}
+	}
+	// Malformed (or fallthrough outside clauseList): drop the edge.
+	return nil
+}
+
+func (b *builder) push(label string, brk, cont *Block, continueOK bool) {
+	b.targets = append(b.targets, loopTarget{label: label, brk: brk, cont: cont, continueOK: continueOK})
+}
+
+func (b *builder) pop() { b.targets = b.targets[:len(b.targets)-1] }
+
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// isTerminatingCall reports whether e is a call that never returns, matched
+// syntactically: panic(...), os.Exit, log.Fatal/Fatalf/Fatalln,
+// runtime.Goexit.
+func isTerminatingCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fn.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch pkg.Name + "." + fn.Sel.Name {
+		case "os.Exit", "log.Fatal", "log.Fatalf", "log.Fatalln", "runtime.Goexit":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,11 @@
+package closesink
+
+import (
+	"testing"
+
+	"em/internal/analysis/analysistest"
+)
+
+func TestCloseSink(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), Analyzer, "sinks")
+}

@@ -1,0 +1,86 @@
+// Package emlint bundles the repository's analyzers — poolbalance,
+// pinpair, joinasync, closesink — into one suite and runs them over `go
+// list` package patterns. cmd/emlint is the command-line front end; the
+// smoke test in this package keeps the whole repository clean under the
+// suite.
+package emlint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+
+	"em/internal/analysis"
+	"em/internal/analysis/closesink"
+	"em/internal/analysis/joinasync"
+	"em/internal/analysis/load"
+	"em/internal/analysis/pinpair"
+	"em/internal/analysis/poolbalance"
+)
+
+// Analyzers is the emlint suite, the four I/O-accounting disciplines.
+var Analyzers = []*analysis.Analyzer{
+	poolbalance.Analyzer,
+	pinpair.Analyzer,
+	joinasync.Analyzer,
+	closesink.Analyzer,
+}
+
+// A Finding is one diagnostic from one analyzer.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// Check loads the packages matched by patterns (resolved in dir) and runs
+// the full suite, returning all findings sorted by position. Type-check
+// errors in the analyzed packages are returned as an error, since
+// analyzers cannot be trusted over broken type information.
+func Check(dir string, patterns ...string) ([]Finding, error) {
+	pkgs, err := load.Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			return nil, fmt.Errorf("%s: type errors: %v", pkg.PkgPath, pkg.TypeErrors[0])
+		}
+		for _, a := range Analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			name := a.Name
+			pass.Report = func(d analysis.Diagnostic) {
+				findings = append(findings, Finding{
+					Pos:      pkg.Fset.Position(d.Pos),
+					Analyzer: name,
+					Message:  d.Message,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	return findings, nil
+}

@@ -1,0 +1,61 @@
+// Package joinasync enforces the async-batch discipline: the join handle
+// returned by a dispatching call (Volume.BatchReadAsync,
+// Volume.BatchWriteAsync, Cache.GetBatchAsync, and any *Async helper
+// returning `func() error`) is invoked on every path to return. A batch
+// that is dispatched and never joined abandons in-flight writes — the
+// caller can observe success while blocks were never durably written —
+// and its buffers are mutated behind the caller's back. Discarding the
+// handle (`_` or a bare call statement) is reported unconditionally.
+package joinasync
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"em/internal/analysis"
+	"em/internal/analysis/match"
+	"em/internal/analysis/pairing"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "joinasync",
+	Doc:  "check that async batch join handles are called on every return path",
+	Run:  run,
+}
+
+var spec = &pairing.Spec{
+	What: "async batch join",
+	Acquires: func(info *types.Info, call *ast.CallExpr) []bool {
+		name := match.CalleeName(call)
+		if !strings.HasSuffix(name, "Async") {
+			return nil
+		}
+		results := match.ResultTypes(info, call)
+		var tracked []bool
+		any := false
+		for _, t := range results {
+			isJoin := match.IsErrorFunc(t)
+			tracked = append(tracked, isJoin)
+			any = any || isJoin
+		}
+		if !any {
+			return nil
+		}
+		return tracked
+	},
+	Releases: func(info *types.Info, call *ast.CallExpr, obj types.Object) bool {
+		// The join is released by calling it: join().
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		return info.Uses[id] == obj || info.Defs[id] == obj
+	},
+	Remedy: "call the join before every return (including error unwinds) so no dispatched I/O is abandoned",
+}
+
+func run(pass *analysis.Pass) error {
+	pairing.Run(pass, spec)
+	return nil
+}

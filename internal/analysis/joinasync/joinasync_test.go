@@ -1,0 +1,11 @@
+package joinasync
+
+import (
+	"testing"
+
+	"em/internal/analysis/analysistest"
+)
+
+func TestJoinAsync(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), Analyzer, "joins")
+}

@@ -1,0 +1,76 @@
+// Package joins is the joinasync corpus: the leak shapes abandon
+// dispatched I/O (the caller observes success while blocks were never
+// durably written), and the ok shapes are the join idioms the sweep must
+// stay silent on.
+package joins
+
+import "pdm"
+
+// leakOnErrorReturn dispatches a batch and forgets the join on a later
+// error unwind.
+func leakOnErrorReturn(v *pdm.Volume, addrs []int64, dsts [][]byte) error {
+	join := v.BatchReadAsync(addrs, dsts) // want `async batch join "join" \(from BatchReadAsync\) is not released`
+	if err := pdm.Prep(); err != nil {
+		return err // leak: the dispatched read is abandoned
+	}
+	return join()
+}
+
+// leakNeverJoined dispatches and returns without ever joining.
+func leakNeverJoined(v *pdm.Volume, addrs []int64, srcs [][]byte) {
+	join := v.BatchWriteAsync(addrs, srcs) // want `async batch join "join" \(from BatchWriteAsync\) is not released`
+	_ = join
+}
+
+// leakDiscardedUnderscore throws the join handle away by name.
+func leakDiscardedUnderscore(v *pdm.Volume, addrs []int64, srcs [][]byte) {
+	_ = v.BatchWriteAsync(addrs, srcs) // want `async batch join result of BatchWriteAsync is discarded`
+}
+
+// leakDiscardedBare drops the handle without even binding it.
+func leakDiscardedBare(v *pdm.Volume, addrs []int64, srcs [][]byte) {
+	v.BatchWriteAsync(addrs, srcs) // want `async batch join result of BatchWriteAsync is discarded`
+}
+
+// okJoinedBothPaths joins before every return.
+func okJoinedBothPaths(v *pdm.Volume, addrs []int64, dsts [][]byte) error {
+	join := v.BatchReadAsync(addrs, dsts)
+	if err := join(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// okJoinedOnUnwind overlaps compute with the batch and still joins on the
+// error path.
+func okJoinedOnUnwind(v *pdm.Volume, addrs []int64, dsts [][]byte) error {
+	join := v.BatchReadAsync(addrs, dsts)
+	if err := pdm.Prep(); err != nil {
+		_ = join() // drain the batch before unwinding
+		return err
+	}
+	return join()
+}
+
+// okDeferredJoin joins through a deferred closure.
+func okDeferredJoin(v *pdm.Volume, addrs []int64, srcs [][]byte) (err error) {
+	join := v.BatchWriteAsync(addrs, srcs)
+	defer func() {
+		if jerr := join(); err == nil {
+			err = jerr
+		}
+	}()
+	return pdm.Prep()
+}
+
+// okReturnedHandle transfers the join obligation to the caller.
+func okReturnedHandle(v *pdm.Volume, addrs []int64, srcs [][]byte) func() error {
+	join := v.BatchWriteAsync(addrs, srcs)
+	return join
+}
+
+// okAnnotated documents a handoff the analysis cannot see.
+func okAnnotated(v *pdm.Volume, joins map[string]func() error, addrs []int64, srcs [][]byte) {
+	join := v.BatchWriteAsync(addrs, srcs) //emlint:owns: joined by the flush loop via the joins map
+	joins["batch"] = join
+}

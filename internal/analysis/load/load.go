@@ -1,0 +1,148 @@
+// Package load turns `go list` package patterns into parsed, type-checked
+// packages for the analysis framework. It shells out to the go tool twice:
+// once for the package graph (`go list -deps -json -export`), which also
+// compiles export data for every dependency into the build cache, and then
+// type-checks the target packages from source against that export data via
+// the standard library's gc importer. This is the same division of labour as
+// x/tools' go/packages LoadAllSyntax for the root packages, without the
+// dependency.
+//
+// Only non-test GoFiles are loaded: the I/O-accounting disciplines emlint
+// enforces are production-code invariants, and tests routinely hold
+// resources across t.Cleanup in ways the analyzers would have to
+// special-case.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one type-checked package with its syntax trees.
+type Package struct {
+	PkgPath   string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+	// TypeErrors holds any errors the type checker reported. Analyzers
+	// still run over packages with type errors, but drivers should
+	// surface them.
+	TypeErrors []error
+}
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load expands patterns (relative to dir, "" meaning the current directory)
+// and returns the matched packages, parsed and type-checked. Dependencies
+// are resolved through compiler export data, so the full source of the
+// module is only parsed for the packages actually being analyzed.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-deps", "-e", "-export", "-json=Dir,ImportPath,Name,Export,GoFiles,Standard,DepOnly,Incomplete,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := map[string]string{} // import path -> export data file
+	var roots []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if !lp.DepOnly && !lp.Standard {
+			p := lp
+			roots = append(roots, &p)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].ImportPath < roots[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var pkgs []*Package
+	for _, lp := range roots {
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := typeCheck(fset, imp, lp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func typeCheck(fset *token.FileSet, imp types.Importer, lp *listPackage) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	pkg := &Package{PkgPath: lp.ImportPath, Fset: fset, Files: files, TypesInfo: info}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, _ := conf.Check(lp.ImportPath, fset, files, info)
+	pkg.Types = tpkg
+	return pkg, nil
+}

@@ -1,0 +1,11 @@
+package pinpair
+
+import (
+	"testing"
+
+	"em/internal/analysis/analysistest"
+)
+
+func TestPinPair(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), Analyzer, "pins")
+}

@@ -1,0 +1,11 @@
+package poolbalance
+
+import (
+	"testing"
+
+	"em/internal/analysis/analysistest"
+)
+
+func TestPoolBalance(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), Analyzer, "poolframes")
+}

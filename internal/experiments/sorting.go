@@ -266,6 +266,7 @@ func F3DiskStriping(n int, disks []int) (*Table, error) {
 		for {
 			_, ok, err := r.Next()
 			if err != nil {
+				r.Close()
 				return nil, err
 			}
 			if !ok {

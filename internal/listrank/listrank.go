@@ -254,6 +254,8 @@ func (r *ranker) contract(byNode, bySucc *stream.File[record.Triple], contracted
 	removed := false
 	inEdge, inOK, err := succR.Next()
 	if err != nil {
+		cw.Close()
+		pw.Close()
 		return false, err
 	}
 	// Splices cannot be collected in an in-memory map at scale; instead emit
