@@ -79,14 +79,15 @@ bench:
 
 # Machine-readable benchmark trajectory: sync vs async sort/bulk-load, the
 # write-behind and pipelined sort→index modes, the query-serving points
-# (looped vs batched lookups, sync vs prefetched scans), and the online
+# (looped vs batched lookups, sync vs prefetched scans), the online
 # store's mixed-workload points (buffered writes vs per-key inserts,
-# serving quiesced vs through a drain) at D in {1,4}, wall-clock and
-# counted I/Os, written to BENCH_PR6.json. Committed once per PR so perf
-# history accumulates as a diffable series (BENCH_PR3/PR4/PR5.json are the
-# previous points).
+# serving quiesced vs through a drain) at D in {1,4}, and the sharded
+# serving points (merge-cut batch, stitched scan at S in {1,4}),
+# wall-clock and counted I/Os, written to BENCH_PR8.json. Committed once
+# per PR so perf history accumulates as a diffable series
+# (BENCH_PR3..PR6.json are the previous points).
 bench-json:
-	$(GO) run ./cmd/embench -json BENCH_PR6.json
-	@cat BENCH_PR6.json
+	$(GO) run ./cmd/embench -json BENCH_PR8.json
+	@cat BENCH_PR8.json
 
 ci: build vet race

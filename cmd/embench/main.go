@@ -25,9 +25,12 @@
 // sessions against one-at-a-time serving, on both storage backends — and
 // F13 the online store that composes the two: buffer-tree write absorption
 // against per-key B-tree inserts, and read throughput while a background
-// drain hands a new B-tree generation over. F12 and F13 check their own
-// acceptance gates and fail (non-zero exit) when one is missed, so CI can
-// gate on the sweeps.
+// drain hands a new B-tree generation over — and F14 the sharded serving
+// facade: merge-cut batched lookups and stitched scans across S
+// range-partitioned volumes against the single-volume layout, with
+// aggregated counters pinned byte-identical across backends. F12, F13, and
+// F14 check their own acceptance gates and fail (non-zero exit) when one
+// is missed, so CI can gate on the sweeps.
 //
 // With -dir every experiment volume maps its simulated disks to real files
 // under the given directory (one numbered subdirectory per volume), so the
@@ -37,9 +40,10 @@
 // sync vs async merge sort, distribution sort, B-tree bulk load (plus its
 // write-behind mode), the sequential vs pipelined sort→index build, the
 // query-serving points (looped vs batched lookups, sync vs prefetched
-// scans), and the online store's mixed-workload points (buffered writes vs
-// per-key inserts, serving quiesced vs through a drain) at D ∈ {1, 4},
-// wall-clock and counted I/Os — is written to the given file
+// scans), the online store's mixed-workload points (buffered writes vs
+// per-key inserts, serving quiesced vs through a drain) at D ∈ {1, 4}, and
+// the sharded serving points (merge-cut batch and stitched scan at
+// S ∈ {1, 4} volumes), wall-clock and counted I/Os — is written to the given file
 // (the repository commits these as BENCH_*.json, one per PR, so perf
 // regressions show up as a diffable series; `make bench-json` regenerates
 // the current one).
@@ -202,6 +206,12 @@ var catalogue = []experiment{
 			return experiments.F13StoreOnline(1<<12, []int{1, 4}, 2*time.Millisecond)
 		}
 		return experiments.F13StoreOnline(1<<13, []int{1, 2, 4, 8}, 2*time.Millisecond)
+	}},
+	{"F14", "sharded serving: merge-cut batches scale QPS toward S volumes; aggregated stats backend-identical", func(q bool) (*experiments.Table, error) {
+		if q {
+			return experiments.F14ShardedServing(1<<12, []int{1, 4}, 2*time.Millisecond)
+		}
+		return experiments.F14ShardedServing(1<<13, []int{1, 2, 4}, 2*time.Millisecond)
 	}},
 }
 

@@ -106,16 +106,17 @@
 // with resident parents, the classical serving posture. BTree.Max joins
 // Min for the key-space edges.
 //
-// Concurrent read sessions. BTree.NewSession opens a read-only query
+// Concurrent read sessions. BTree.NewSessionOn opens a read-only query
 // handle with a private buffer manager and scanner budget, reserved from
 // the caller's pool up front exactly like SortIndex's loader budget, so G
 // goroutines serve a mixed point/range workload against one tree — the
 // per-disk engine overlaps their transfers and QPS scales toward D — while
-// the memory bound M still holds. Sessions never dirty a page and cannot
-// evict a writer's pinned working set; like all readers they must not
-// overlap mutations. Experiment F12 measures the three mechanisms' gates
-// (batch speedup and read savings, scan speedup at identical reads, session
-// QPS scaling) on both storage backends.
+// the memory bound M still holds. (The interface form, BTree.NewSession,
+// draws the budget from the tree's own pool.) Sessions never dirty a page
+// and cannot evict a writer's pinned working set; like all readers they
+// must not overlap mutations. Experiment F12 measures the three
+// mechanisms' gates (batch speedup and read savings, scan speedup at
+// identical reads, session QPS scaling) on both storage backends.
 //
 // # An updatable store
 //
@@ -136,6 +137,36 @@
 // resolved operations are mirrored in bounded memory, so read throughput
 // holds while the rebuild runs — experiment F13 gates the write
 // amortisation and the in-drain read QPS. See examples/kvstore.
+//
+// # Sharded serving
+//
+// Every serving implementation above — the read-optimised BTree and the
+// updatable Store — presents the same five-method surface, named by the
+// Index interface (Get, GetBatch, Scan, NewSession, Stats, Close) with
+// Session as its read-handle counterpart, so engines and examples are
+// written once against Index and run unchanged over any backend.
+//
+// The sharded types scale that surface past one volume's disk set: the
+// Parallel Disk Model's striping lifted one level, D disks inside a
+// volume, S volumes inside a system. NewShardedTree and OpenShardedStore
+// range-partition the keyspace across S independent volumes — each with
+// its own Config, directory, disks, and pool — by S-1 split keys, shard i
+// owning [splits[i-1], splits[i]). GetBatch cuts the sorted batch at the
+// partition boundaries (a merge cut: one binary search per shard touched,
+// never a per-key pass) and fans the per-shard sub-batches out
+// concurrently, each shard deduping and striping its piece over its own
+// disks; Scan stitches per-shard scanners in shard order — which range
+// partitioning makes key order — behind one Scanner; NewSession composes
+// per-shard sessions, each with its reserved budget on its shard's pool;
+// ShardedStore routes Insert/Delete to the owning shard's buffer-tree
+// front, and the shards seal and drain independently, so one shard's
+// rebuild never stalls another's reads. Aggregated Stats sum the counters
+// and concatenate the per-disk breakdowns in shard order, extending the
+// sim==file byte-identity invariant verbatim; every error a shard
+// surfaces is wrapped with its shard index (errors.Is still sees the
+// cause), so a starved pool names the shard that hit its budget.
+// Experiment F14 gates the sharded QPS scaling and the cross-backend
+// aggregate identity.
 //
 // # Invariants
 //
@@ -221,12 +252,14 @@ import (
 	"em/internal/fft"
 	"em/internal/geometry"
 	"em/internal/hashing"
+	"em/internal/index"
 	"em/internal/listrank"
 	"em/internal/matrix"
 	"em/internal/pdm"
 	"em/internal/permute"
 	"em/internal/pqueue"
 	"em/internal/record"
+	"em/internal/shard"
 	"em/internal/store"
 	"em/internal/stream"
 	"em/internal/timefwd"
@@ -291,6 +324,13 @@ func PoolFor(v *Volume) *Pool { return pdm.PoolFor(v) }
 // NewPool creates a pool of capacity frames of blockBytes bytes each, for
 // callers that want a budget different from the volume's default.
 func NewPool(blockBytes, capacity int) *Pool { return pdm.NewPool(blockBytes, capacity) }
+
+// ErrNoFrames reports that a buffer pool is exhausted — the memory budget
+// M is exceeded. Reservations that fail (a session's cache budget, an
+// async stream's double buffer) wrap it, and the sharded facades prefix
+// the owning shard's index, so errors.Is(err, ErrNoFrames) holds across
+// every layer.
+var ErrNoFrames = pdm.ErrNoFrames
 
 // ---------------------------------------------------------------------------
 // Records and files
@@ -506,6 +546,45 @@ func TransposeNaive(m *Matrix, pool *Pool) (*Matrix, error) { return matrix.Tran
 func MatMul(a, b *Matrix, pool *Pool) (*Matrix, error) { return matrix.Multiply(a, b, pool) }
 
 // ---------------------------------------------------------------------------
+// The unified serving API
+// ---------------------------------------------------------------------------
+
+// Index is the serving surface every key-value index in the module
+// presents: point reads, sorted-batch reads, snapshot range scans, read
+// sessions with reserved budgets, and aggregate I/O counters. BTree and
+// Store implement it over one volume; ShardedTree and ShardedStore
+// implement it over S volumes — code written against Index serves
+// unchanged from any of them. Implementations substitute their configured
+// defaults for out-of-range NewSession arguments, so NewSession(0, 0)
+// always means "this index's defaults".
+type Index = index.Index
+
+// Session is a read-only query handle opened by Index.NewSession: a
+// private reserved cache budget, safe to use from its own goroutine
+// beside other sessions. The concrete types (BTreeSession, StoreSession,
+// ShardedSession) add index-specific extras such as Warm.
+type Session = index.Session
+
+// Scanner is the stream shape every Index.Scan returns: records in key
+// order, Close releasing the scan's frames (and, for stores, its
+// generation pin). The concrete scanners implement it.
+type Scanner = index.Scanner
+
+// The serving implementations satisfy the unified API.
+var (
+	_ Index   = (*BTree)(nil)
+	_ Index   = (*Store)(nil)
+	_ Index   = (*ShardedTree)(nil)
+	_ Index   = (*ShardedStore)(nil)
+	_ Session = (*BTreeSession)(nil)
+	_ Session = (*StoreSession)(nil)
+	_ Session = (*ShardedSession)(nil)
+	_ Scanner = (*BTreeScanner)(nil)
+	_ Scanner = (*StoreScanner)(nil)
+	_ Scanner = (*ShardedScanner)(nil)
+)
+
+// ---------------------------------------------------------------------------
 // Online dictionaries (survey §6: B-trees, hashing)
 // ---------------------------------------------------------------------------
 
@@ -518,9 +597,22 @@ func MatMul(a, b *Matrix, pool *Pool) (*Matrix, error) { return matrix.Multiply(
 type BTree = btree.Tree
 
 // NewBTree creates an empty B+-tree whose node cache holds cacheFrames
-// blocks drawn from pool.
+// blocks drawn from pool. It is the positional shorthand for NewBTreeWith.
 func NewBTree(vol *Volume, pool *Pool, cacheFrames int) (*BTree, error) {
 	return btree.New(vol, pool, cacheFrames)
+}
+
+// BTreeOptions tunes NewBTreeWith, mirroring the options forms the bulk
+// loader and store already take: CacheFrames is the node cache's budget
+// (zero means 8; below 3 is an error) and Width the default striping for
+// the tree's interface-form Scan and NewSession (zero means the volume's
+// disk count).
+type BTreeOptions = btree.Options
+
+// NewBTreeWith creates an empty B+-tree with options-driven defaults; nil
+// options take every default.
+func NewBTreeWith(vol *Volume, pool *Pool, opts *BTreeOptions) (*BTree, error) {
+	return btree.NewWith(vol, pool, opts)
 }
 
 // ScanOptions tunes BTree.NewScanner and RangePrefetch: Width is the
@@ -618,6 +710,53 @@ var ErrStoreClosed = store.ErrClosed
 // reserved from pool up front, like SortIndex's loader budget.
 func OpenStore(vol *Volume, pool *Pool, cfg StoreConfig) (*Store, error) {
 	return store.Open(vol, pool, cfg)
+}
+
+// ---------------------------------------------------------------------------
+// Sharded serving (range partitioning across volumes)
+// ---------------------------------------------------------------------------
+
+// ShardedTree serves the Index surface over S read-only B+-trees
+// range-partitioned across independent volumes: routed Gets, merge-cut
+// concurrent GetBatch, stitched Scans, composed sessions, aggregated
+// Stats. See the package comment's sharded-serving section.
+type ShardedTree = shard.Tree
+
+// ShardedTreeOptions configures NewShardedTree; Splits are the S-1
+// strictly increasing partition boundaries (shard i owns keys in
+// [Splits[i-1], Splits[i])).
+type ShardedTreeOptions = shard.TreeOptions
+
+// ShardedStore is the updatable sharded index: one Store per shard, each
+// on its own volume with its own background drain. Writes route to the
+// owning shard's buffer-tree front; reads serve the Index surface.
+type ShardedStore = shard.Store
+
+// ShardedStoreOptions configures OpenShardedStore: the partition
+// boundaries plus the per-shard StoreConfig.
+type ShardedStoreOptions = shard.StoreOptions
+
+// ShardedScanner stitches per-shard scanners into one key-ordered stream —
+// range partitioning makes concatenation in shard order the merge.
+type ShardedScanner = shard.Scanner
+
+// ShardedSession composes per-shard read sessions, each with its own
+// reserved budget on its shard's pool; batches fan out across them.
+type ShardedSession = shard.Session
+
+// NewShardedTree assembles a sharded serving facade over per-shard trees
+// built separately (each on its own volume); every key a shard's tree
+// holds must fall in the shard's split interval. The trees are used in
+// place; the caller keeps ownership of their volumes and pools.
+func NewShardedTree(shards []*BTree, opts *ShardedTreeOptions) (*ShardedTree, error) {
+	return shard.NewTree(shards, opts)
+}
+
+// OpenShardedStore opens one store per volume — vols[i] and pools[i] back
+// shard i — behind the sharded facade. Each shard's drain budget is
+// reserved from its own pool at open, and its drains run independently.
+func OpenShardedStore(vols []*Volume, pools []*Pool, opts *ShardedStoreOptions) (*ShardedStore, error) {
+	return shard.OpenStore(vols, pools, opts)
 }
 
 // PQ is an external-memory priority queue (merge-based): N inserts and N

@@ -256,11 +256,11 @@ func TestFacadeScannerAndSessions(t *testing.T) {
 		t.Fatalf("prefetched scan %d reads > range %d", scanReads, rangeReads)
 	}
 
-	s1, err := tr.NewSession(pool, 8, 4)
+	s1, err := tr.NewSessionOn(pool, 8, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2, err := tr.NewSession(pool, 8, 4)
+	s2, err := tr.NewSessionOn(pool, 8, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

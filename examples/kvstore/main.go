@@ -8,7 +8,9 @@
 //
 //  1. load phase        n inserts through the front vs per-key B-tree cost
 //  2. mixed phase       inserts, deletes, overwrites with drains in flight
-//  3. serving           Get / GetBatch / snapshot Scan during a live drain
+//  3. serving           Get / GetBatch / snapshot Scan during a live drain,
+//     the read side driven through the unified em.Index
+//     surface the B-tree and the sharded layouts share
 //
 // The volume simulates D disks with a fixed per-block service time, so the
 // wall clock below is the model's parallel-step cost, not host noise;
@@ -107,31 +109,46 @@ func main() {
 			reads, float64(reads)/time.Since(start).Seconds())
 	}
 
-	// A snapshot scan opened now sees exactly the store as of this moment,
-	// even if writes and drains continue underneath it.
-	sc, err := st.Scan(1, 2048)
+	// The snapshot scan and the batched session run through the unified
+	// em.Index surface — the store, the plain B-tree, and the sharded
+	// layouts all serve this same function unchanged.
+	cnt, hits, err := snapshotReads(st, rng)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cnt := 0
+	fmt.Printf("scan     %6d records in [1,2048]\n", cnt)
+	fmt.Printf("session  %6d batched gets, %d hits, epoch %d\n", 512, hits, st.Epoch())
+	if err := st.Close(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// snapshotReads drives the snapshot read side through any em.Index: a
+// range scan — opened now, it sees exactly the index as of this moment,
+// even if writes and drains continue underneath — and a batched read
+// session with a private cache budget (a store's session re-pins itself
+// when a drain hands over a new generation).
+func snapshotReads(index em.Index, rng *rand.Rand) (scanned, hits int, err error) {
+	sc, err := index.Scan(1, 2048)
+	if err != nil {
+		return 0, 0, err
+	}
 	for {
 		_, ok, err := sc.Next()
 		if err != nil {
-			log.Fatal(err)
+			sc.Close()
+			return 0, 0, err
 		}
 		if !ok {
 			break
 		}
-		cnt++
+		scanned++
 	}
 	sc.Close()
-	fmt.Printf("scan     %6d records in [1,2048]\n", cnt)
 
-	// Sessions serve point reads with a private cache budget and re-pin
-	// themselves when a drain hands over a new generation.
-	sess, err := st.NewSession(0, 0)
+	sess, err := index.NewSession(0, 0)
 	if err != nil {
-		log.Fatal(err)
+		return 0, 0, err
 	}
 	keys := make([]uint64, 512)
 	for i := range keys {
@@ -139,21 +156,15 @@ func main() {
 	}
 	_, found, err := sess.GetBatch(keys)
 	if err != nil {
-		log.Fatal(err)
+		sess.Close()
+		return 0, 0, err
 	}
-	hits := 0
 	for _, ok := range found {
 		if ok {
 			hits++
 		}
 	}
-	fmt.Printf("session  %6d batched gets, %d hits, epoch %d\n", len(keys), hits, st.Epoch())
-	if err := sess.Close(); err != nil {
-		log.Fatal(err)
-	}
-	if err := st.Close(); err != nil {
-		log.Fatal(err)
-	}
+	return scanned, hits, sess.Close()
 }
 
 func ms(start time.Time) float64 {

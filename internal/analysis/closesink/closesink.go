@@ -1,12 +1,14 @@
 // Package closesink enforces the stream lifecycle discipline: opened
 // stream Sources and Sinks (Reader, Writer, PrefetchReader, AsyncWriter,
 // TailSource, and the Source/Sink interfaces), B-tree Scanners and
-// Sessions, store Scanners and Sessions, and Caches are closed on every
-// path to return, unless they escape into a struct or caller that owns
-// them or the acquisition is annotated //emlint:owns. These types hold
-// pool frames and pinned pages; a Source dropped on an error unwind leaks
-// its frames, and an unclosed AsyncWriter abandons its in-flight
-// write-behind batch.
+// Sessions, store Scanners and Sessions, sharded Scanners and Sessions,
+// sessions behind the unified index.Session interface, and Caches are
+// closed on every path to return, unless they escape into a struct or
+// caller that owns them or the acquisition is annotated //emlint:owns.
+// These types hold pool frames and pinned pages; a Source dropped on an
+// error unwind leaks its frames, an unclosed AsyncWriter abandons its
+// in-flight write-behind batch, and a dropped sharded handle leaks
+// per-shard frames on every volume it spans.
 package closesink
 
 import (
@@ -38,6 +40,9 @@ var closeable = [...][2]string{
 	{"btree", "Session"},
 	{"store", "Scanner"},
 	{"store", "Session"},
+	{"shard", "Scanner"},
+	{"shard", "Session"},
+	{"index", "Session"},
 	{"cache", "Cache"},
 }
 

@@ -1,0 +1,12 @@
+// Package index is a self-contained stand-in for em/internal/index: the
+// unified serving interfaces every concrete index satisfies. Session is a
+// defined interface type (not an alias), so closesink must match handles
+// held behind it by the same basename+name rule as the concrete types.
+package index
+
+// Session mirrors the unified batched read session interface.
+type Session interface {
+	Get(key uint64) (uint64, bool, error)
+	GetBatch(keys []uint64) ([]uint64, []bool, error)
+	Close() error
+}

@@ -4,7 +4,10 @@
 // lifecycle idioms the sweep must stay silent on.
 package sinks
 
-import "stream"
+import (
+	"shard"
+	"stream"
+)
 
 // leakOnErrorReturn opens a reader and forgets it on a later error unwind.
 func leakOnErrorReturn(path string) error {
@@ -135,6 +138,70 @@ func okNilGuardedDeferBeforeLoop(paths []string) error {
 		}
 	}
 	return nil
+}
+
+// leakShardScanner drops a cross-shard scanner on an error unwind —
+// leaking frames on every volume the stitched scan spans.
+func leakShardScanner(t *shard.Tree) (int, error) {
+	sc, err := t.Scan(1, 2048) // want `open stream/handle "sc" \(from Scan\) is not released`
+	if err != nil {
+		return 0, err
+	}
+	cnt := 0
+	for {
+		_, ok, err := sc.Next()
+		if err != nil {
+			return 0, err // leak: sc still holds per-shard scanners
+		}
+		if !ok {
+			return cnt, nil
+		}
+		cnt++
+	}
+}
+
+// leakIndexSession never closes a session opened behind the unified
+// index.Session interface, abandoning its reserved per-shard budgets.
+func leakIndexSession(t *shard.Tree, keys []uint64) error {
+	sess, err := t.NewSession(16, 0) // want `open stream/handle "sess" \(from NewSession\) is not released`
+	if err != nil {
+		return err
+	}
+	_, _, err = sess.GetBatch(keys)
+	return err
+}
+
+// okShardScannerDeferred covers the cross-shard scanner with a defer.
+func okShardScannerDeferred(t *shard.Tree) (int, error) {
+	sc, err := t.Scan(1, 2048)
+	if err != nil {
+		return 0, err
+	}
+	defer sc.Close()
+	cnt := 0
+	for {
+		_, ok, err := sc.Next()
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			return cnt, nil
+		}
+		cnt++
+	}
+}
+
+// okIndexSessionClosed closes the interface-typed session on both paths.
+func okIndexSessionClosed(t *shard.Tree, keys []uint64) error {
+	sess, err := t.NewSession(16, 0)
+	if err != nil {
+		return err
+	}
+	if _, _, err := sess.GetBatch(keys); err != nil {
+		_ = sess.Close()
+		return err
+	}
+	return sess.Close()
 }
 
 // okAnnotated documents a handoff the analysis cannot see.

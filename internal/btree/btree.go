@@ -49,17 +49,57 @@ const (
 // Tree is an external B+-tree over (uint64 key → uint64 value).
 type Tree struct {
 	vol     *pdm.Volume
+	pool    *pdm.Pool // the pool the tree was created on: serves Scan and NewSession
 	cache   *cache.Cache
 	root    int64
 	height  int // 1 = root is a leaf
 	n       int64
 	leafCap int
 	keyCap  int // max keys in an internal node
+	width   int // default scan/batch striping, usually the disk count
+}
+
+// Options normalizes tree construction onto the option-struct convention
+// BulkLoadOptions and store.Config already follow, so the sharded facades
+// don't invent a third one. The zero value is a served tree at the
+// defaults.
+type Options struct {
+	// CacheFrames sizes the tree's buffer manager. Zero means 8; values
+	// below 3 (a split pins parent, child, and sibling at once) are an
+	// error.
+	CacheFrames int
+	// Width is the default striping of Scan and NewSession — the leaf
+	// reads kept in flight. Zero picks the volume's disk count.
+	Width int
 }
 
 // New creates an empty tree whose node blocks live on vol and whose working
 // pages are served by a cache of cacheFrames pages drawn from pool.
 func New(vol *pdm.Volume, pool *pdm.Pool, cacheFrames int) (*Tree, error) {
+	// Splits pin a parent, a child, and the new sibling simultaneously, so
+	// the buffer manager needs at least three frames. The positional form
+	// takes cacheFrames literally — no zero default.
+	if cacheFrames < 3 {
+		return nil, fmt.Errorf("btree: cache needs >= 3 frames, got %d", cacheFrames)
+	}
+	return NewWith(vol, pool, &Options{CacheFrames: cacheFrames})
+}
+
+// NewWith is New driven by an Options struct.
+func NewWith(vol *pdm.Volume, pool *pdm.Pool, opts *Options) (*Tree, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	if o.CacheFrames == 0 {
+		o.CacheFrames = 8
+	}
+	if o.CacheFrames < 3 {
+		return nil, fmt.Errorf("btree: cache needs >= 3 frames, got %d", o.CacheFrames)
+	}
+	if o.Width < 1 {
+		o.Width = vol.Disks()
+	}
 	bb := vol.BlockBytes()
 	// One spare slot per node absorbs the transient overflow between insert
 	// and split, so capacities are one below what the block could hold.
@@ -68,16 +108,11 @@ func New(vol *pdm.Volume, pool *pdm.Pool, cacheFrames int) (*Tree, error) {
 	if leafCap < 2 || keyCap < 2 {
 		return nil, fmt.Errorf("%w: %d bytes", ErrBlockTooSmall, bb)
 	}
-	// Splits pin a parent, a child, and the new sibling simultaneously, so
-	// the buffer manager needs at least three frames.
-	if cacheFrames < 3 {
-		return nil, fmt.Errorf("btree: cache needs >= 3 frames, got %d", cacheFrames)
-	}
-	c, err := cache.New(vol, pool, cacheFrames)
+	c, err := cache.New(vol, pool, o.CacheFrames)
 	if err != nil {
 		return nil, err
 	}
-	t := &Tree{vol: vol, cache: c, leafCap: leafCap, keyCap: keyCap, height: 1}
+	t := &Tree{vol: vol, pool: pool, cache: c, leafCap: leafCap, keyCap: keyCap, height: 1, width: o.Width}
 	root, err := t.newNode(true)
 	if err != nil {
 		return nil, err
@@ -110,8 +145,12 @@ func (t *Tree) Rehome(pool *pdm.Pool, cacheFrames int) error {
 		return err
 	}
 	t.cache = c
+	t.pool = pool
 	return nil
 }
+
+// Stats returns a snapshot of the underlying volume's I/O counters.
+func (t *Tree) Stats() pdm.Stats { return t.vol.Stats().Snapshot() }
 
 // Len returns the number of keys stored.
 func (t *Tree) Len() int64 { return t.n }

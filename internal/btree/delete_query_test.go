@@ -184,7 +184,7 @@ func TestSessionQueriesAfterDeletes(t *testing.T) {
 	cfg := pdm.Config{BlockBytes: 256, MemBlocks: 64, Disks: 2}
 	forEachBackend(t, cfg, func(t *testing.T, vol *pdm.Volume, pool *pdm.Pool) {
 		tr, ref := buildDeleted(t, vol, pool, 500, 29)
-		sess, err := tr.NewSession(pool, 8, 2)
+		sess, err := tr.NewSessionOn(pool, 8, 2)
 		if err != nil {
 			t.Fatal(err)
 		}

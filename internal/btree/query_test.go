@@ -411,7 +411,7 @@ func TestSessionsConcurrent(t *testing.T) {
 	const g = 4
 	sessions := make([]*Session, g)
 	for i := range sessions {
-		s, err := tr.NewSession(pool, 8, 4)
+		s, err := tr.NewSessionOn(pool, 8, 4)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -484,7 +484,7 @@ func TestSessionBudgetReserved(t *testing.T) {
 	vol, pool := newEnv(t)
 	tr := bulkTree(t, vol, pool, 500, nil)
 	base := pool.InUse()
-	s, err := tr.NewSession(pool, 8, 2)
+	s, err := tr.NewSessionOn(pool, 8, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -501,7 +501,7 @@ func TestSessionBudgetReserved(t *testing.T) {
 		t.Fatalf("close left %d frames on loan", pool.InUse()-base)
 	}
 	tight := pdm.NewPool(vol.BlockBytes(), 5)
-	if _, err := tr.NewSession(tight, 8, 2); err == nil {
+	if _, err := tr.NewSessionOn(tight, 8, 2); err == nil {
 		t.Fatal("session opened past the pool budget")
 	}
 	if tight.InUse() != 0 {

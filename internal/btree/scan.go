@@ -2,6 +2,7 @@ package btree
 
 import (
 	"em/internal/cache"
+	"em/internal/index"
 	"em/internal/pdm"
 	"em/internal/record"
 	"em/internal/stream"
@@ -102,6 +103,17 @@ var _ stream.Source[record.Record] = (*Scanner)(nil)
 // cache state (identical for full scans with cold leaves).
 func (t *Tree) NewScanner(pool *pdm.Pool, lo, hi uint64, opts *ScanOptions) (*Scanner, error) {
 	return t.newScanner(t.cache, pool, lo, hi, opts)
+}
+
+// Scan is NewScanner at the index.Index signature: frames come from the
+// pool the tree was created on and the scan runs at the tree's configured
+// width.
+func (t *Tree) Scan(lo, hi uint64) (index.Scanner, error) {
+	sc, err := t.newScanner(t.cache, t.pool, lo, hi, &ScanOptions{Width: t.width})
+	if err != nil {
+		return nil, err
+	}
+	return sc, nil
 }
 
 func (t *Tree) newScanner(c *cache.Cache, pool *pdm.Pool, lo, hi uint64, opts *ScanOptions) (*Scanner, error) {

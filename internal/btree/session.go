@@ -4,7 +4,14 @@ import (
 	"fmt"
 
 	"em/internal/cache"
+	"em/internal/index"
 	"em/internal/pdm"
+)
+
+// The tree and its sessions present the module-wide serving contract.
+var (
+	_ index.Index   = (*Tree)(nil)
+	_ index.Session = (*Session)(nil)
 )
 
 // Session is a read-only query handle over a shared tree. Each session owns
@@ -29,12 +36,32 @@ type Session struct {
 	width   int
 }
 
-// NewSession opens a read session whose buffer manager holds cacheFrames
+// NewSession opens a read session at the index.Index signature: the budget
+// is reserved from the pool the tree was created on (or last rehomed to),
+// out-of-range arguments select the tree's own defaults — cacheFrames < 3
+// means the tree's cache capacity, width < 1 its configured striping — so
+// NewSession(0, 0) is always valid. NewSessionOn keeps the explicit-pool
+// form for callers that charge sessions to a budget of their own.
+func (t *Tree) NewSession(cacheFrames, width int) (index.Session, error) {
+	if cacheFrames < 3 {
+		cacheFrames = t.cache.Capacity()
+	}
+	if width < 1 {
+		width = t.width
+	}
+	s, err := t.NewSessionOn(t.pool, cacheFrames, width)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// NewSessionOn opens a read session whose buffer manager holds cacheFrames
 // pages and whose scanners may keep up to width leaf reads in flight
 // (width < 1 selects the volume's disk count). The session's whole budget —
 // cacheFrames + 2×width frames — is reserved from pool immediately and
 // returned by Close, so admission failures surface at open, not mid-query.
-func (t *Tree) NewSession(pool *pdm.Pool, cacheFrames, width int) (*Session, error) {
+func (t *Tree) NewSessionOn(pool *pdm.Pool, cacheFrames, width int) (*Session, error) {
 	if cacheFrames < 3 {
 		return nil, fmt.Errorf("btree: session cache needs >= 3 frames, got %d", cacheFrames)
 	}

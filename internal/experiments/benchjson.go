@@ -42,9 +42,11 @@ type BenchResult struct {
 // pipelined compositions — and, since PR 5, the query-serving side (looped
 // vs batched point lookups, sync vs prefetched range scans), at D ∈ {1, 4},
 // on a worker-engine volume with a fixed per-block service latency (so wall
-// clock reflects the model's parallel-step cost, not host noise). Counted
-// I/Os come from the same Stats every experiment table reports, reset per
-// workload.
+// clock reflects the model's parallel-step cost, not host noise). Since
+// PR 8 it also takes the sharded serving points: the merge-cut batched
+// lookup and the stitched scan at S ∈ {1, 4} single-shape volumes, with
+// aggregated counters. Counted I/Os come from the same Stats every
+// experiment table reports, reset per workload.
 func BenchTrajectory(quick bool) ([]BenchResult, error) {
 	n, latency := 1<<13, 2*time.Millisecond
 	if quick {
@@ -65,6 +67,11 @@ func BenchTrajectory(quick bool) ([]BenchResult, error) {
 		}
 		out = append(out, rs...)
 	}
+	rs, err := shardBenchPoint(n, latency)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, rs...)
 	return out, nil
 }
 

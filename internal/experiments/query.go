@@ -220,7 +220,7 @@ func sessionQPS(tr *btree.Tree, pool *pdm.Pool, d, n, g int) (float64, error) {
 	const opsPerSession = 200
 	sessions := make([]*btree.Session, g)
 	for i := range sessions {
-		s, err := tr.NewSession(pool, 12, d)
+		s, err := tr.NewSessionOn(pool, 12, d)
 		if err != nil {
 			return 0, err
 		}

@@ -1,0 +1,64 @@
+// Package index declares the unified serving surface every key-value
+// index in the module presents: the B+-tree (btree.Tree), the online
+// updatable store (store.Store), and the sharded facades over both
+// (shard.Tree, shard.Store). The em facade re-exports these interfaces as
+// em.Index and em.Session, so serving code — examples, experiments,
+// benchmarks — programs against one contract and runs unchanged over any
+// backend.
+//
+// The package sits below every implementation and imports only the model
+// layers (pdm, record, stream), so btree and store can return these types
+// without an import cycle through the facade.
+package index
+
+import (
+	"em/internal/pdm"
+	"em/internal/record"
+	"em/internal/stream"
+)
+
+// Scanner is the streaming side of a range query: records of [lo, hi] in
+// key order behind the same pull interface file readers serve, so a scan
+// can feed anything a reader can — stream.Drain, a Patch merge, or a bulk
+// load of another tree. Close releases the scan's frames and pins and must
+// run on every path.
+type Scanner = stream.Source[record.Record]
+
+// Session is a read-only query handle with its own reserved cache budget,
+// served beside other sessions from one index. Each session is for one
+// goroutine; distinct sessions are safe concurrently. Close returns the
+// session's frames to the pool it was opened on.
+type Session interface {
+	// Get returns the value stored under key.
+	Get(key uint64) (uint64, bool, error)
+	// GetBatch answers a batch of point lookups, values and presence
+	// flags aligned with keys, at counted reads never above a loop of
+	// Gets from the same cache state.
+	GetBatch(keys []uint64) ([]uint64, []bool, error)
+	// Close releases the session's budget.
+	Close() error
+}
+
+// Index is the read-serving contract shared by every key-value index in
+// the module: point lookups, batched lookups, prefetched range scans,
+// concurrent read sessions, and the I/O counters behind them all.
+type Index interface {
+	// Get returns the value stored under key.
+	Get(key uint64) (uint64, bool, error)
+	// GetBatch answers a batch of point lookups, values and presence
+	// flags aligned with keys.
+	GetBatch(keys []uint64) ([]uint64, []bool, error)
+	// Scan streams every record with lo <= key <= hi in key order. The
+	// scanner must be Closed on every path.
+	Scan(lo, hi uint64) (Scanner, error)
+	// NewSession opens a read session with a private cache of cacheFrames
+	// pages and scan/batch striping of width. Implementations substitute
+	// their configured defaults for out-of-range values (cacheFrames < 3,
+	// width < 1), so NewSession(0, 0) always means "the index's defaults".
+	NewSession(cacheFrames, width int) (Session, error)
+	// Stats returns a snapshot of the index's I/O counters — for a
+	// sharded index, the per-shard volumes' counters aggregated.
+	Stats() pdm.Stats
+	// Close flushes and releases the index's caches.
+	Close() error
+}

@@ -1,0 +1,86 @@
+package shard
+
+import (
+	"em/internal/index"
+	"em/internal/record"
+	"em/internal/stream"
+)
+
+// scanSeg is one shard's slice of a cross-shard scan. Tree scans open
+// lazily (open is called when the scan reaches the shard); Store scans
+// open eagerly at Scan time so every shard's snapshot is taken at the same
+// moment, and park the scanner in src.
+type scanSeg struct {
+	shard int
+	open  func() (index.Scanner, error)
+	src   index.Scanner
+}
+
+// Scanner stitches per-shard scanners into one key-ordered stream. Range
+// partitioning makes every key in shard i smaller than every key in shard
+// i+1, so concatenation in shard order is the merge: no heap, no
+// comparisons, each shard's scanner drained in turn with its own
+// prefetched leaf reads in flight on its own disks. It implements
+// stream.Source[record.Record].
+type Scanner struct {
+	segs   []scanSeg
+	cur    int
+	err    error
+	closed bool
+}
+
+// Next returns the next record in the range, crossing shard boundaries
+// transparently. A shard's error is wrapped with its index and sticks.
+func (sc *Scanner) Next() (record.Record, bool, error) {
+	var zero record.Record
+	if sc.closed {
+		return zero, false, stream.ErrClosed
+	}
+	if sc.err != nil {
+		return zero, false, sc.err
+	}
+	for sc.cur < len(sc.segs) {
+		sg := &sc.segs[sc.cur]
+		if sg.src == nil {
+			if sg.open == nil {
+				sc.cur++
+				continue
+			}
+			src, err := sg.open()
+			sg.open = nil
+			if err != nil {
+				sc.err = wrapShard(sg.shard, err)
+				return zero, false, sc.err
+			}
+			sg.src = src
+		}
+		r, ok, err := sg.src.Next()
+		if err != nil {
+			sc.err = wrapShard(sg.shard, err)
+			return zero, false, sc.err
+		}
+		if ok {
+			return r, true, nil
+		}
+		sg.src.Close()
+		sg.src = nil
+		sc.cur++
+	}
+	return zero, false, nil
+}
+
+// Close releases every still-open per-shard scanner (and, for eager Store
+// scans, their generation pins and session budgets). Idempotent.
+func (sc *Scanner) Close() {
+	if sc.closed {
+		return
+	}
+	sc.closed = true
+	for i := range sc.segs {
+		if sc.segs[i].src != nil {
+			sc.segs[i].src.Close()
+			sc.segs[i].src = nil
+		}
+		sc.segs[i].open = nil
+	}
+}

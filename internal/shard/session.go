@@ -1,0 +1,77 @@
+package shard
+
+import (
+	"em/internal/index"
+)
+
+// Session composes per-shard read sessions behind the index.Session
+// surface: point lookups route to the owning shard's session, batches fan
+// out concurrently across them. Each underlying session carries its own
+// reserved cache budget on its own shard's pool, so S sessions' worth of
+// frames back one composed handle. Safe for one goroutine at a time, like
+// the sessions it wraps — the fan-out below touches each shard's session
+// from exactly one goroutine per call.
+type Session struct {
+	splits []uint64
+	sess   []index.Session
+	closed bool
+}
+
+// newSession opens one session per shard, unwinding the ones already open
+// when a shard fails — typically a starved pool, reported with the shard's
+// index wrapped around pdm.ErrNoFrames.
+func newSession(splits []uint64, shards int, open func(i int) (index.Session, error)) (*Session, error) {
+	ss := make([]index.Session, shards)
+	for i := 0; i < shards; i++ {
+		s, err := open(i)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				ss[j].Close()
+			}
+			return nil, wrapShard(i, err)
+		}
+		ss[i] = s
+	}
+	return &Session{splits: append([]uint64(nil), splits...), sess: ss}, nil
+}
+
+// Get routes a point lookup to the owning shard's session.
+func (s *Session) Get(key uint64) (uint64, bool, error) {
+	if s.closed {
+		return 0, false, ErrClosed
+	}
+	sh := ownerOf(s.splits, key)
+	v, ok, err := s.sess[sh].Get(key)
+	if err != nil {
+		return 0, false, wrapShard(sh, err)
+	}
+	return v, ok, nil
+}
+
+// GetBatch cuts the sorted batch view at the partition boundaries and
+// fans the sub-batches out concurrently across the per-shard sessions.
+func (s *Session) GetBatch(keys []uint64) ([]uint64, []bool, error) {
+	if s.closed {
+		return nil, nil, ErrClosed
+	}
+	return fanOutBatch(s.splits, keys, func(sh int, sub []uint64) ([]uint64, []bool, error) {
+		return s.sess[sh].GetBatch(sub)
+	})
+}
+
+// Close releases every per-shard session and its reserved frames,
+// reporting the first failure with its shard index but closing the rest
+// regardless. Idempotent.
+func (s *Session) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	for i, sub := range s.sess {
+		if err := sub.Close(); err != nil && first == nil {
+			first = wrapShard(i, err)
+		}
+	}
+	return first
+}

@@ -1,0 +1,159 @@
+// Package shard scales the serving layer past one volume's disk set: it
+// range-partitions the uint64 keyspace across S independent volumes — each
+// with its own Config, directory, and disks — behind the same index.Index
+// contract the single-volume implementations serve. This is the Parallel
+// Disk Model's striping lifted one level: D disks inside a volume, S
+// volumes inside a system.
+//
+// The partition is given as S-1 split keys; shard i owns the half-open
+// interval [splits[i-1], splits[i]) (shard 0 from zero, the last shard to
+// the top of the keyspace). Batched lookups exploit the sort the
+// single-volume GetBatch already performs: the ordered batch is cut at the
+// partition boundaries — a merge cut, one binary search per shard touched,
+// never a per-key routing pass — and the per-shard sub-batches fan out
+// concurrently, each shard answering on its own disks. Cross-shard scans
+// concatenate per-shard scanners in shard order, which is key order,
+// behind one stream.Source. Sessions compose per-shard sessions, each with
+// its reserved budget on its own shard's pool. Writes (shard.Store) route
+// to the owning shard's buffer-tree front, and background drains proceed
+// per shard.
+//
+// Aggregated Stats sum the per-shard counters and concatenate the
+// per-disk breakdowns in shard order, so the module's counter invariants —
+// sim == file byte-identical snapshots, async == sync counted I/Os —
+// extend verbatim to the sharded surface: the aggregate is byte-identical
+// across backends exactly when every shard's snapshot is. Every error a
+// shard surfaces is wrapped with its shard index (errors.Is/As still see
+// the cause), so a starved pool reports which shard hit its budget.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"em/internal/pdm"
+)
+
+// ErrClosed reports an operation on a closed sharded session.
+var ErrClosed = errors.New("shard: closed")
+
+// wrapShard tags an error with the shard it came from, preserving
+// errors.Is/As through %w — a starved pool's pdm.ErrNoFrames names the
+// shard that exhausted its budget instead of surfacing bare.
+func wrapShard(i int, err error) error {
+	return fmt.Errorf("shard %d: %w", i, err)
+}
+
+// ownerOf returns the shard owning key: the number of splits at or below
+// it.
+func ownerOf(splits []uint64, key uint64) int {
+	return sort.Search(len(splits), func(i int) bool { return key < splits[i] })
+}
+
+// validateSplits checks the partition shape: S shards need exactly S-1
+// strictly increasing split keys.
+func validateSplits(shards int, splits []uint64) error {
+	if shards < 1 {
+		return errors.New("shard: need at least one shard")
+	}
+	if len(splits) != shards-1 {
+		return fmt.Errorf("shard: %d shards need %d splits, got %d", shards, shards-1, len(splits))
+	}
+	for i := 1; i < len(splits); i++ {
+		if splits[i] <= splits[i-1] {
+			return fmt.Errorf("shard: splits must be strictly increasing (split %d: %d after %d)",
+				i, splits[i], splits[i-1])
+		}
+	}
+	return nil
+}
+
+// batchSeg is one shard's contiguous run [lo, hi) of the sorted batch view.
+type batchSeg struct {
+	shard  int
+	lo, hi int
+}
+
+// cutBatch sorts an order index over keys (the merge view the single-volume
+// GetBatch builds anyway) and cuts it at the partition boundaries: each
+// shard touched yields one contiguous segment, found with one binary search
+// per boundary rather than a per-key routing pass. Segments come back in
+// ascending shard order, so no shard appears twice.
+func cutBatch(splits []uint64, keys []uint64) (order []int, segs []batchSeg) {
+	order = make([]int, len(keys))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return keys[order[i]] < keys[order[j]] })
+	for k := 0; k < len(order); {
+		sh := ownerOf(splits, keys[order[k]])
+		j := len(order)
+		if sh < len(splits) {
+			// The merge cut: the first sorted position at or past the
+			// shard's upper boundary.
+			j = k + sort.Search(len(order)-k, func(m int) bool {
+				return keys[order[k+m]] >= splits[sh]
+			})
+		}
+		segs = append(segs, batchSeg{shard: sh, lo: k, hi: j})
+		k = j
+	}
+	return order, segs
+}
+
+// fanOutBatch answers an aligned batch through per-shard GetBatch calls:
+// cut the sorted view, fan the sub-batches out concurrently — one
+// goroutine per shard touched, each shard on its own volume — and write
+// every shard's answers back into the caller's alignment.
+func fanOutBatch(splits []uint64, keys []uint64,
+	get func(shard int, sub []uint64) ([]uint64, []bool, error)) ([]uint64, []bool, error) {
+	vals := make([]uint64, len(keys))
+	found := make([]bool, len(keys))
+	if len(keys) == 0 {
+		return vals, found, nil
+	}
+	order, segs := cutBatch(splits, keys)
+	errs := make([]error, len(segs))
+	var wg sync.WaitGroup
+	for si, sg := range segs {
+		wg.Add(1)
+		go func(si int, sg batchSeg) {
+			defer wg.Done()
+			sub := make([]uint64, sg.hi-sg.lo)
+			for m := range sub {
+				sub[m] = keys[order[sg.lo+m]]
+			}
+			v, f, err := get(sg.shard, sub)
+			if err != nil {
+				errs[si] = wrapShard(sg.shard, err)
+				return
+			}
+			for m := range sub {
+				i := order[sg.lo+m]
+				vals[i], found[i] = v[m], f[m]
+			}
+		}(si, sg)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return vals, found, nil
+}
+
+// addStats accumulates one shard's snapshot into the aggregate: the scalar
+// counters sum, and the per-disk breakdowns concatenate in shard order —
+// the system's disks are the shards' disks laid end to end — so the
+// aggregate stays byte-identical across storage backends exactly when
+// every shard's snapshot is.
+func addStats(agg *pdm.Stats, s pdm.Stats) {
+	agg.Reads += s.Reads
+	agg.Writes += s.Writes
+	agg.Steps += s.Steps
+	agg.PerDiskReads = append(agg.PerDiskReads, s.PerDiskReads...)
+	agg.PerDiskWrites = append(agg.PerDiskWrites, s.PerDiskWrites...)
+}

@@ -1,0 +1,134 @@
+package shard
+
+import (
+	"em/internal/btree"
+	"em/internal/index"
+	"em/internal/pdm"
+)
+
+// Tree is a read-only sharded index: S independent B+-trees, each on its
+// own volume with its own disks, range-partitioned by the split keys. It
+// serves the full index.Index surface; reads route to the owning shard and
+// batches fan out concurrently, one goroutine per shard touched. Like the
+// single-volume Tree, the top-level methods are for one goroutine at a
+// time — concurrency comes from sessions.
+type Tree struct {
+	shards []*btree.Tree
+	splits []uint64
+}
+
+var (
+	_ index.Index   = (*Tree)(nil)
+	_ index.Index   = (*Store)(nil)
+	_ index.Session = (*Session)(nil)
+	_ index.Scanner = (*Scanner)(nil)
+)
+
+// TreeOptions configures a sharded tree.
+type TreeOptions struct {
+	// Splits are the len(shards)-1 strictly increasing partition
+	// boundaries: shard i owns keys in [Splits[i-1], Splits[i]), shard 0
+	// from zero, the last shard to the top of the keyspace. Every key a
+	// shard's tree holds must fall in its interval — the scanner stitches
+	// shards by concatenation on that premise.
+	Splits []uint64
+}
+
+// NewTree assembles a sharded serving facade over already-built per-shard
+// trees. The trees are used in place, not copied; the caller keeps
+// ownership of their volumes and pools.
+func NewTree(shards []*btree.Tree, opts *TreeOptions) (*Tree, error) {
+	var o TreeOptions
+	if opts != nil {
+		o = *opts
+	}
+	if err := validateSplits(len(shards), o.Splits); err != nil {
+		return nil, err
+	}
+	return &Tree{shards: shards, splits: append([]uint64(nil), o.Splits...)}, nil
+}
+
+// Shards returns the number of shards.
+func (t *Tree) Shards() int { return len(t.shards) }
+
+// Shard returns shard i's tree, for per-shard setup such as Warm.
+func (t *Tree) Shard(i int) *btree.Tree { return t.shards[i] }
+
+// Owner returns the index of the shard owning key.
+func (t *Tree) Owner(key uint64) int { return ownerOf(t.splits, key) }
+
+// Warm makes every shard's internal levels resident — the sharded serving
+// posture.
+func (t *Tree) Warm() error {
+	for i, sh := range t.shards {
+		if err := sh.Warm(); err != nil {
+			return wrapShard(i, err)
+		}
+	}
+	return nil
+}
+
+// Get routes a point lookup to the owning shard.
+func (t *Tree) Get(key uint64) (uint64, bool, error) {
+	sh := ownerOf(t.splits, key)
+	v, ok, err := t.shards[sh].Get(key)
+	if err != nil {
+		return 0, false, wrapShard(sh, err)
+	}
+	return v, ok, nil
+}
+
+// GetBatch answers an aligned batch by cutting its sorted view at the
+// partition boundaries and fanning the per-shard sub-batches out
+// concurrently — each shard dedupes and stripes its own piece over its own
+// disks.
+func (t *Tree) GetBatch(keys []uint64) ([]uint64, []bool, error) {
+	return fanOutBatch(t.splits, keys, func(sh int, sub []uint64) ([]uint64, []bool, error) {
+		return t.shards[sh].GetBatch(sub)
+	})
+}
+
+// Scan streams the records with keys in [lo, hi] in key order across
+// shards: per-shard scanners opened lazily, concatenated in shard order.
+func (t *Tree) Scan(lo, hi uint64) (index.Scanner, error) {
+	first, last := ownerOf(t.splits, lo), ownerOf(t.splits, hi)
+	segs := make([]scanSeg, 0, last-first+1)
+	for i := first; i <= last; i++ {
+		sh := t.shards[i]
+		segs = append(segs, scanSeg{shard: i, open: func() (index.Scanner, error) {
+			return sh.Scan(lo, hi)
+		}})
+	}
+	return &Scanner{segs: segs}, nil
+}
+
+// NewSession opens a composed read session: one per-shard session each
+// with its own reserved budget on its shard's pool. Zero (or out-of-range)
+// arguments take each shard's configured defaults.
+func (t *Tree) NewSession(cacheFrames, width int) (index.Session, error) {
+	return newSession(t.splits, len(t.shards), func(i int) (index.Session, error) {
+		return t.shards[i].NewSession(cacheFrames, width)
+	})
+}
+
+// Stats aggregates the per-shard volume snapshots: counters summed,
+// per-disk breakdowns concatenated in shard order.
+func (t *Tree) Stats() pdm.Stats {
+	var agg pdm.Stats
+	for _, sh := range t.shards {
+		addStats(&agg, sh.Stats())
+	}
+	return agg
+}
+
+// Close closes every shard's tree (flushing its cache), reporting the
+// first failure with its shard index but closing the rest regardless.
+func (t *Tree) Close() error {
+	var first error
+	for i, sh := range t.shards {
+		if err := sh.Close(); err != nil && first == nil {
+			first = wrapShard(i, err)
+		}
+	}
+	return first
+}

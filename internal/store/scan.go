@@ -5,6 +5,7 @@ import (
 
 	"em/internal/btree"
 	"em/internal/buffertree"
+	"em/internal/index"
 	"em/internal/record"
 	"em/internal/stream"
 )
@@ -91,7 +92,7 @@ type Scanner struct {
 // Scan opens a snapshot range scan over [lo, hi]. The underlying B-tree
 // scan runs through a private read session (prefetched leaf reads, its own
 // cache budget), overlaid with the buffered operations in range.
-func (s *Store) Scan(lo, hi uint64) (*Scanner, error) {
+func (s *Store) Scan(lo, hi uint64) (index.Scanner, error) {
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
@@ -106,7 +107,7 @@ func (s *Store) Scan(lo, hi uint64) (*Scanner, error) {
 	s.mu.RUnlock()
 
 	gen.mu.Lock()
-	sess, err := gen.tree.NewSession(s.pool, s.cfg.CacheFrames, s.cfg.Width)
+	sess, err := gen.tree.NewSessionOn(s.pool, s.cfg.CacheFrames, s.cfg.Width)
 	gen.mu.Unlock()
 	if err != nil {
 		s.releaseGen(gen)

@@ -1,6 +1,15 @@
 package store
 
-import "em/internal/btree"
+import (
+	"em/internal/btree"
+	"em/internal/index"
+)
+
+// The store and its sessions present the module-wide serving contract.
+var (
+	_ index.Index   = (*Store)(nil)
+	_ index.Session = (*Session)(nil)
+)
 
 // Session is a point-read handle with a private cache budget: its B-tree
 // reads go through a btree.Session, so many Sessions serve lookups
@@ -28,7 +37,7 @@ type Session struct {
 // manager (zero picks the store's CacheFrames) and width its scan/batch
 // striping (zero picks the store's Width); the whole budget is reserved
 // from the store's pool until Close.
-func (s *Store) NewSession(cacheFrames, width int) (*Session, error) {
+func (s *Store) NewSession(cacheFrames, width int) (index.Session, error) {
 	if cacheFrames < 3 {
 		cacheFrames = s.cfg.CacheFrames
 	}
@@ -56,7 +65,7 @@ func (s *Store) NewSession(cacheFrames, width int) (*Session, error) {
 func openGenSession(gen *generation, s *Store, cacheFrames, width int) (*btree.Session, error) {
 	gen.mu.Lock()
 	defer gen.mu.Unlock()
-	return gen.tree.NewSession(s.pool, cacheFrames, width)
+	return gen.tree.NewSessionOn(s.pool, cacheFrames, width)
 }
 
 // repin moves the session onto cur, which the caller has already

@@ -338,7 +338,7 @@ func (s *Store) drainOnce(front *buffertree.Tree, gen *generation) error {
 func (s *Store) buildGen(gen *generation, run *buffertree.Run) (*btree.Tree, error) {
 	w := s.cfg.DrainWidth
 	gen.mu.Lock()
-	sess, err := gen.tree.NewSession(s.drainPool, s.cfg.CacheFrames, w)
+	sess, err := gen.tree.NewSessionOn(s.drainPool, s.cfg.CacheFrames, w)
 	gen.mu.Unlock()
 	if err != nil {
 		return nil, err
@@ -442,6 +442,9 @@ func (s *Store) Drain() error {
 		}
 	}
 }
+
+// Stats returns a snapshot of the underlying volume's I/O counters.
+func (s *Store) Stats() pdm.Stats { return s.vol.Stats().Snapshot() }
 
 // Epoch returns the current generation's number, starting at 1.
 func (s *Store) Epoch() uint64 {
