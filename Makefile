@@ -81,13 +81,15 @@ bench:
 # write-behind and pipelined sort→index modes, the query-serving points
 # (looped vs batched lookups, sync vs prefetched scans), the online
 # store's mixed-workload points (buffered writes vs per-key inserts,
-# serving quiesced vs through a drain) at D in {1,4}, and the sharded
-# serving points (merge-cut batch, stitched scan at S in {1,4}),
-# wall-clock and counted I/Os, written to BENCH_PR8.json. Committed once
+# serving quiesced vs through a drain) at D in {1,4}, the sharded
+# serving points (merge-cut batch, stitched scan at S in {1,4}), and the
+# robustness points (open-loop p50/p99 and shed profile at half and twice
+# calibrated capacity, clean-vs-faulted serving with the retry audit),
+# wall-clock and counted I/Os, written to BENCH_PR9.json. Committed once
 # per PR so perf history accumulates as a diffable series
-# (BENCH_PR3..PR6.json are the previous points).
+# (BENCH_PR3..PR8.json are the previous points).
 bench-json:
-	$(GO) run ./cmd/embench -json BENCH_PR8.json
-	@cat BENCH_PR8.json
+	$(GO) run ./cmd/embench -json BENCH_PR9.json
+	@cat BENCH_PR9.json
 
 ci: build vet race

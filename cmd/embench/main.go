@@ -25,12 +25,16 @@
 // sessions against one-at-a-time serving, on both storage backends — and
 // F13 the online store that composes the two: buffer-tree write absorption
 // against per-key B-tree inserts, and read throughput while a background
-// drain hands a new B-tree generation over — and F14 the sharded serving
+// drain hands a new B-tree generation over — F14 the sharded serving
 // facade: merge-cut batched lookups and stitched scans across S
 // range-partitioned volumes against the single-volume layout, with
-// aggregated counters pinned byte-identical across backends. F12, F13, and
-// F14 check their own acceptance gates and fail (non-zero exit) when one
-// is missed, so CI can gate on the sweeps.
+// aggregated counters pinned byte-identical across backends — and F15 the
+// robustness surface: an open-loop YCSB-style mix at twice calibrated
+// capacity shedding typed overload errors instead of failing, a faulted
+// volume with retries serving identical counted I/Os at bounded p99, and
+// a batch across a crashed shard degrading to a partial result. F12–F15
+// check their own acceptance gates and fail (non-zero exit) when one is
+// missed, so CI can gate on the sweeps.
 //
 // With -dir every experiment volume maps its simulated disks to real files
 // under the given directory (one numbered subdirectory per volume), so the
@@ -41,9 +45,11 @@
 // write-behind mode), the sequential vs pipelined sort→index build, the
 // query-serving points (looped vs batched lookups, sync vs prefetched
 // scans), the online store's mixed-workload points (buffered writes vs
-// per-key inserts, serving quiesced vs through a drain) at D ∈ {1, 4}, and
+// per-key inserts, serving quiesced vs through a drain) at D ∈ {1, 4},
 // the sharded serving points (merge-cut batch and stitched scan at
-// S ∈ {1, 4} volumes), wall-clock and counted I/Os — is written to the given file
+// S ∈ {1, 4} volumes), and the robustness points (open-loop latency and
+// shed profile, clean-vs-faulted serving with retry audit), wall-clock
+// and counted I/Os — is written to the given file
 // (the repository commits these as BENCH_*.json, one per PR, so perf
 // regressions show up as a diffable series; `make bench-json` regenerates
 // the current one).
@@ -213,6 +219,12 @@ var catalogue = []experiment{
 		}
 		return experiments.F14ShardedServing(1<<13, []int{1, 2, 4}, 2*time.Millisecond)
 	}},
+	{"F15", "robustness: oversubscribed load sheds typed; faulted retries keep counted I/Os; crashed shard degrades", func(q bool) (*experiments.Table, error) {
+		if q {
+			return experiments.F15Robustness(1<<11, 160, 2*time.Millisecond)
+		}
+		return experiments.F15Robustness(1<<12, 320, 2*time.Millisecond)
+	}},
 }
 
 func main() {
@@ -308,7 +320,7 @@ func writeBenchJSON(path string, quick bool) error {
 		return err
 	}
 	blob, err := json.MarshalIndent(benchFile{
-		Schema:  "em-bench-trajectory/v2",
+		Schema:  "em-bench-trajectory/v3",
 		Go:      runtime.Version(),
 		OS:      runtime.GOOS,
 		Arch:    runtime.GOARCH,

@@ -168,6 +168,48 @@
 // Experiment F14 gates the sharded QPS scaling and the cross-backend
 // aggregate identity.
 //
+// # Robustness
+//
+// The model assumes D disks that always answer; the serving stack does
+// not. Four mechanisms keep the guarantees under faults and overload:
+//
+// Fault model. Errors are classified transient or permanent with the
+// Transient marker (IsTransient): a transient error — a flaky pread, a
+// momentarily busy device — is retryable; everything else propagates
+// unchanged. FaultPlan is a deterministic, seeded schedule of injected
+// faults (transient read/write errors, per-disk latency spikes, a
+// fail-after-N crash point) wrapped around any storage backend via
+// Config.Fault, so every layer's unwind paths are exercised mechanically:
+// the same seed replays the same faults. Faults fire before any data
+// moves, so a retried transfer is indistinguishable from a clean one.
+//
+// Retry policy. Config.Retry enables capped exponential backoff under a
+// per-op deadline in the volume's per-disk service loop, on the
+// single-block and batched paths alike. Retried attempts are not
+// re-charged to Reads/Writes — the transfer is the same block op however
+// many attempts it took — so a faulted run that retries to success
+// reports output and counted I/Os identical to the clean run's, with the
+// extra work auditable in Stats.Retries. The sim==file byte-identity
+// invariant therefore extends to faulted runs.
+//
+// Overload semantics. With admission control configured (AdmitQueue /
+// AdmitWait on btree Options, store Config, and their sharded facades),
+// pool starvation inside GetBatch, Scan, or NewSession becomes a bounded
+// FIFO wait for frames: the request queues in arrival order, wakes as
+// frames free, and retries; past the queue bound or the deadline it is
+// shed with an OverloadError matching both ErrOverload ("the system chose
+// to shed") and ErrNoFrames (the starvation underneath). Admission off —
+// the default — keeps starvation a hard error.
+//
+// PartialError contract. A sharded GetBatch that loses some shards but
+// not all returns the surviving shards' answers alongside a *PartialError
+// naming the failed shards (with their wrapped causes), the shards that
+// answered, and a per-key Served mask; only a batch with no surviving
+// shard fails outright. Callers that can tolerate holes keep the answers,
+// callers that cannot treat the error as fatal — either way errors.Is
+// sees through to each cause. Experiment F15 gates all four mechanisms
+// under an open-loop YCSB-style workload.
+//
 // # Invariants
 //
 // Four resource disciplines keep the I/O accounting exact, and every
@@ -331,6 +373,54 @@ func NewPool(blockBytes, capacity int) *Pool { return pdm.NewPool(blockBytes, ca
 // the owning shard's index, so errors.Is(err, ErrNoFrames) holds across
 // every layer.
 var ErrNoFrames = pdm.ErrNoFrames
+
+// ---------------------------------------------------------------------------
+// Robustness: fault model, retry policy, overload, partial results
+// ---------------------------------------------------------------------------
+
+// ErrTransient is the marker carried by Transient-classified (retryable)
+// errors; match with IsTransient or errors.Is.
+var ErrTransient = pdm.ErrTransient
+
+// ErrFaulted is the permanent error a fault plan's fail-after-N crash
+// point produces: the disk is dead and retries are pointless.
+var ErrFaulted = pdm.ErrFaulted
+
+// ErrOverload is the marker for a request shed by admission control. A
+// shed error matches both ErrOverload and ErrNoFrames, so backpressure is
+// distinguishable from a hard memory-budget violation.
+var ErrOverload = index.ErrOverload
+
+// Transient classifies err as retryable; the volume's retry policy
+// re-drives transient service errors and propagates everything else.
+func Transient(err error) error { return pdm.Transient(err) }
+
+// IsTransient reports whether err is classified retryable.
+func IsTransient(err error) bool { return pdm.IsTransient(err) }
+
+// FaultPlan is a deterministic, seeded schedule of injected faults —
+// transient read/write errors, per-disk latency spikes, a fail-after-N
+// crash point — installed on a volume via Config.Fault. See the package
+// comment's robustness section.
+type FaultPlan = pdm.FaultPlan
+
+// FaultBackend is the fault-injecting backend a FaultPlan installs;
+// Volume.Fault returns it for auditing injected counts.
+type FaultBackend = pdm.FaultBackend
+
+// RetryPolicy drives the volume's handling of transient service errors:
+// capped exponential backoff under a per-op deadline, enabled via
+// Config.Retry, audited in Stats.Retries.
+type RetryPolicy = pdm.RetryPolicy
+
+// OverloadError carries the admission decision behind a shed request: the
+// queue depth observed, the time waited, and the starvation cause.
+type OverloadError = index.OverloadError
+
+// PartialError reports a sharded GetBatch that lost some shards while the
+// rest answered; it accompanies the surviving results. See the package
+// comment's robustness section for the contract.
+type PartialError = shard.PartialError
 
 // ---------------------------------------------------------------------------
 // Records and files

@@ -5,6 +5,7 @@
 package sinks
 
 import (
+	"index"
 	"shard"
 	"stream"
 )
@@ -202,6 +203,37 @@ func okIndexSessionClosed(t *shard.Tree, keys []uint64) error {
 		return err
 	}
 	return sess.Close()
+}
+
+// okGateClosure is the admission-gate retry shape: the closure opens the
+// scanner into the enclosing function's variable — ownership lands in the
+// outer scope the moment the gate admits the attempt — so the closure
+// itself owes no Close. The outer function returns the handle to its
+// caller as usual.
+func okGateClosure(t *shard.Tree, gate func(func() error) error) (*shard.Scanner, error) {
+	var sc *shard.Scanner
+	err := gate(func() (err error) {
+		sc, err = t.Scan(1, 2048)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+// okGateClosureSession is the same shape behind the unified interface —
+// a shed attempt leaves sess nil, an admitted one hands it out.
+func okGateClosureSession(t *shard.Tree, gate func(func() error) error) (index.Session, error) {
+	var sess index.Session
+	err := gate(func() (err error) {
+		sess, err = t.NewSession(16, 0)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sess, nil
 }
 
 // okAnnotated documents a handoff the analysis cannot see.

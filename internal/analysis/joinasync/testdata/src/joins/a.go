@@ -69,6 +69,34 @@ func okReturnedHandle(v *pdm.Volume, addrs []int64, srcs [][]byte) func() error 
 	return join
 }
 
+// okRetryLoopJoinsEachAttempt is the retry-under-faults shape: every
+// dispatched attempt is joined before the loop decides to retry — an
+// unjoined prior attempt would still be mutating the shared buffers
+// behind the next attempt's back.
+func okRetryLoopJoinsEachAttempt(v *pdm.Volume, addrs []int64, dsts [][]byte, tries int) error {
+	var err error
+	for i := 0; i < tries; i++ {
+		join := v.BatchReadAsync(addrs, dsts)
+		if err = join(); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// leakRetryLoopSkipsJoin re-enters the retry loop without joining the
+// attempt it is abandoning.
+func leakRetryLoopSkipsJoin(v *pdm.Volume, addrs []int64, dsts [][]byte, tries int) error {
+	for i := 0; i < tries; i++ {
+		join := v.BatchReadAsync(addrs, dsts) // want `async batch join "join" \(from BatchReadAsync\) is not released`
+		if pdm.Prep() != nil {
+			continue // leak: the dispatched batch is never joined
+		}
+		return join()
+	}
+	return nil
+}
+
 // okAnnotated documents a handoff the analysis cannot see.
 func okAnnotated(v *pdm.Volume, joins map[string]func() error, addrs []int64, srcs [][]byte) {
 	join := v.BatchWriteAsync(addrs, srcs) //emlint:owns: joined by the flush loop via the joins map

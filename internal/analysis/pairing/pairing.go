@@ -19,8 +19,9 @@
 //
 // Escape is deliberately generous — returning the resource, storing it in
 // a field, map, slice, or composite literal, passing it to any call,
-// sending it on a channel, aliasing it, or capturing it in a closure all
-// transfer ownership and end tracking. The engine therefore only reports
+// sending it on a channel, aliasing it, binding it to a variable from an
+// enclosing scope (the admission-gate closure shape), or capturing it in
+// a closure all transfer ownership and end tracking. The engine therefore only reports
 // the shape every real leak fixed in this repo's history had: a
 // locally-owned resource and a return path that forgets it. A deliberate
 // handoff the engine cannot see is documented with an `//emlint:owns`
@@ -174,6 +175,14 @@ func discover(pass *analysis.Pass, spec *Spec, body *ast.BlockStmt, owns map[str
 			}
 			obj := objectOf(pass.TypesInfo, id)
 			if obj == nil {
+				continue
+			}
+			if obj.Pos() < body.Pos() || obj.Pos() >= body.End() {
+				// Bound to a variable declared outside this body — a
+				// captured outer variable (the admission-gate closure
+				// shape: `err := gate.Do(func() error { s, err =
+				// open(...); ... })`) or a named result. Either way
+				// ownership lands in an enclosing scope: an escape.
 				continue
 			}
 			res = append(res, &resource{

@@ -218,6 +218,40 @@ func leakMissedSwitchArm(p *pdm.Pool, mode int) error {
 	return nil
 }
 
+// okAdmissionShedReleases is the admission-queue discipline: a queued
+// request holding reservations that gets shed on overload returns every
+// frame it held before surfacing the typed error — a shed that kept its
+// frames would convert backpressure into a permanent budget leak.
+func okAdmissionShedReleases(p *pdm.Pool, tries int) error {
+	frames, err := p.AllocN(2)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < tries; i++ {
+		if err := pdm.Process(frames[0].Buf); err == nil {
+			pdm.ReleaseAll(frames)
+			return nil
+		}
+	}
+	pdm.ReleaseAll(frames) // shed: the queued reservations come back
+	return pdm.ErrNoFrames
+}
+
+// leakAdmissionShed sheds without releasing the queued reservations.
+func leakAdmissionShed(p *pdm.Pool, tries int) error {
+	frames, err := p.AllocN(2) // want `pool frame "frames" \(from AllocN\) is not released`
+	if err != nil {
+		return err
+	}
+	for i := 0; i < tries; i++ {
+		if err := pdm.Process(frames[0].Buf); err == nil {
+			pdm.ReleaseAll(frames)
+			return nil
+		}
+	}
+	return pdm.ErrNoFrames // leak: shed while still holding the frames
+}
+
 // okGoroutineHandoff escapes into a goroutine that owns it.
 func okGoroutineHandoff(p *pdm.Pool) error {
 	f, err := p.Alloc()

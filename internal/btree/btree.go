@@ -19,8 +19,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"time"
 
 	"em/internal/cache"
+	"em/internal/index"
 	"em/internal/pdm"
 )
 
@@ -57,6 +59,12 @@ type Tree struct {
 	leafCap int
 	keyCap  int // max keys in an internal node
 	width   int // default scan/batch striping, usually the disk count
+
+	// Admission control over the serving entry points; nil means off
+	// (starvation surfaces immediately as pdm.ErrNoFrames).
+	gate       *index.Gate
+	admitQueue int
+	admitWait  time.Duration
 }
 
 // Options normalizes tree construction onto the option-struct convention
@@ -71,6 +79,15 @@ type Options struct {
 	// Width is the default striping of Scan and NewSession — the leaf
 	// reads kept in flight. Zero picks the volume's disk count.
 	Width int
+	// AdmitQueue and AdmitWait enable admission control on the serving
+	// entry points (GetBatch, Scan, NewSession): a request that finds the
+	// pool starved joins a bounded FIFO of at most AdmitQueue waiters and
+	// retries as frames free up, for at most AdmitWait, before shedding
+	// with an index.OverloadError (which wraps pdm.ErrNoFrames). Both
+	// zero — the default — leaves admission off and starvation a hard
+	// error; setting one picks the package default for the other.
+	AdmitQueue int
+	AdmitWait  time.Duration
 }
 
 // New creates an empty tree whose node blocks live on vol and whose working
@@ -112,7 +129,8 @@ func NewWith(vol *pdm.Volume, pool *pdm.Pool, opts *Options) (*Tree, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Tree{vol: vol, pool: pool, cache: c, leafCap: leafCap, keyCap: keyCap, height: 1, width: o.Width}
+	t := &Tree{vol: vol, pool: pool, cache: c, leafCap: leafCap, keyCap: keyCap, height: 1, width: o.Width,
+		gate: index.NewGate(pool, o.AdmitQueue, o.AdmitWait), admitQueue: o.AdmitQueue, admitWait: o.AdmitWait}
 	root, err := t.newNode(true)
 	if err != nil {
 		return nil, err
@@ -146,6 +164,9 @@ func (t *Tree) Rehome(pool *pdm.Pool, cacheFrames int) error {
 	}
 	t.cache = c
 	t.pool = pool
+	// Admission waits on the pool the serving budget comes from, so the
+	// gate follows the rehome.
+	t.gate = index.NewGate(pool, t.admitQueue, t.admitWait)
 	return nil
 }
 

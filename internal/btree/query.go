@@ -43,7 +43,16 @@ func groupWidth(c *cache.Cache, disks int) int {
 // calls over the same keys from the same cache state; results are
 // identical. Duplicate keys are answered from a single descent.
 func (t *Tree) GetBatch(keys []uint64) ([]uint64, []bool, error) {
-	return t.getBatch(t.cache, keys)
+	var vals []uint64
+	var found []bool
+	err := t.gate.Do(func() (err error) {
+		vals, found, err = t.getBatch(t.cache, keys)
+		return err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return vals, found, nil
 }
 
 // fetchGroup is one in-flight slice of a level's distinct nodes.

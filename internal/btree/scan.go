@@ -109,7 +109,11 @@ func (t *Tree) NewScanner(pool *pdm.Pool, lo, hi uint64, opts *ScanOptions) (*Sc
 // pool the tree was created on and the scan runs at the tree's configured
 // width.
 func (t *Tree) Scan(lo, hi uint64) (index.Scanner, error) {
-	sc, err := t.newScanner(t.cache, t.pool, lo, hi, &ScanOptions{Width: t.width})
+	var sc *Scanner
+	err := t.gate.Do(func() (err error) {
+		sc, err = t.newScanner(t.cache, t.pool, lo, hi, &ScanOptions{Width: t.width})
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -49,7 +49,11 @@ func (t *Tree) NewSession(cacheFrames, width int) (index.Session, error) {
 	if width < 1 {
 		width = t.width
 	}
-	s, err := t.NewSessionOn(t.pool, cacheFrames, width)
+	var s *Session
+	err := t.gate.Do(func() (err error) {
+		s, err = t.NewSessionOn(t.pool, cacheFrames, width)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -34,6 +34,17 @@ type BenchResult struct {
 	Reads   uint64  `json:"reads"`
 	Writes  uint64  `json:"writes"`
 	Steps   uint64  `json:"steps"`
+	// Retries counts transient service errors re-driven by the volume's
+	// retry policy (zero on fault-free points); since PR 9 the faulted
+	// serving points carry it so the trajectory shows the audit beside
+	// the identical Reads/Writes.
+	Retries uint64 `json:"retries,omitempty"`
+	// P50Ms/P99Ms are per-request latency percentiles and Shed the count
+	// of requests turned away by admission control, reported by the
+	// open-loop robustness points (F15); zero elsewhere.
+	P50Ms float64 `json:"p50Ms,omitempty"`
+	P99Ms float64 `json:"p99Ms,omitempty"`
+	Shed  uint64  `json:"shed,omitempty"`
 }
 
 // BenchTrajectory measures the repository's headline perf surface: merge
@@ -45,8 +56,12 @@ type BenchResult struct {
 // clock reflects the model's parallel-step cost, not host noise). Since
 // PR 8 it also takes the sharded serving points: the merge-cut batched
 // lookup and the stitched scan at S ∈ {1, 4} single-shape volumes, with
-// aggregated counters. Counted I/Os come from the same Stats every
-// experiment table reports, reset per workload.
+// aggregated counters. Since PR 9 it adds the robustness points (the F15
+// surface): the open-loop YCSB-style mix at half and twice calibrated
+// capacity under uniform and Zipf popularity, with p50/p99 latency and
+// shed counts, and the clean-vs-faulted serving pair whose counted I/Os
+// must stay identical with retries audited. Counted I/Os come from the
+// same Stats every experiment table reports, reset per workload.
 func BenchTrajectory(quick bool) ([]BenchResult, error) {
 	n, latency := 1<<13, 2*time.Millisecond
 	if quick {
@@ -68,6 +83,15 @@ func BenchTrajectory(quick bool) ([]BenchResult, error) {
 		out = append(out, rs...)
 	}
 	rs, err := shardBenchPoint(n, latency)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, rs...)
+	ops := 320
+	if quick {
+		ops = 160
+	}
+	rs, err = robustBenchPoint(n, ops, latency)
 	if err != nil {
 		return nil, err
 	}

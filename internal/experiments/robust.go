@@ -1,0 +1,635 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"time"
+
+	"em/internal/btree"
+	"em/internal/index"
+	"em/internal/pdm"
+	"em/internal/record"
+	"em/internal/shard"
+	"em/internal/store"
+	"em/internal/stream"
+)
+
+// F15 drives the robustness surface: an open-loop YCSB-style workload
+// (fixed arrival rate, reads/inserts/scans, uniform and Zipf key
+// popularity) against the admission-controlled store, a clean-vs-faulted
+// serving comparison with retries enabled, and a sharded batch across a
+// crashed shard. Each phase enforces its acceptance gates and the run
+// fails when one is missed, so cmd/embench exits non-zero and CI gates on
+// the sweep.
+
+// The workload mix: mostly point-lookup batches, a writer's trickle of
+// inserts, and enough range scans that their pool appetite is the
+// contended resource admission control arbitrates.
+const (
+	opRead = iota
+	opInsert
+	opScan
+)
+
+// loadOp is one pre-generated request of the open-loop workload. The ops
+// are fully materialized before the run so the concurrent driver never
+// shares a rand.Rand and two runs with one seed issue identical requests.
+type loadOp struct {
+	kind   int
+	keys   []uint64 // opRead: the batch
+	k, v   uint64   // opInsert
+	lo, hi uint64   // opScan
+}
+
+// makeOps pre-generates a mixed workload over keys 1..n: 70% 8-key read
+// batches, 15% inserts of fresh keys, 15% 128-key range scans. Popular
+// keys follow either the uniform distribution or a Zipf(1.2) — YCSB's
+// skewed default — over the keyspace.
+func makeOps(total, n int, zipfDist bool, seed int64) []loadOp {
+	rng := rand.New(rand.NewSource(seed))
+	var z *rand.Zipf
+	if zipfDist {
+		z = rand.NewZipf(rng, 1.2, 1, uint64(n-1))
+	}
+	draw := func() uint64 {
+		if z != nil {
+			return z.Uint64() + 1
+		}
+		return uint64(rng.Intn(n) + 1)
+	}
+	ops := make([]loadOp, total)
+	ins := 0
+	for i := range ops {
+		switch r := rng.Float64(); {
+		case r < 0.70:
+			keys := make([]uint64, 8)
+			for j := range keys {
+				keys[j] = draw()
+			}
+			ops[i] = loadOp{kind: opRead, keys: keys}
+		case r < 0.85:
+			ins++
+			ops[i] = loadOp{kind: opInsert, k: uint64(n + ins), v: uint64(i)}
+		default:
+			lo := draw()
+			ops[i] = loadOp{kind: opScan, lo: lo, hi: lo + 127}
+		}
+	}
+	return ops
+}
+
+// pctl returns the p-th percentile (0..1) of lats, which it sorts.
+func pctl(lats []float64, p float64) float64 {
+	if len(lats) == 0 {
+		return 0
+	}
+	sort.Float64s(lats)
+	i := int(p * float64(len(lats)-1))
+	return lats[i]
+}
+
+// openLoop fires ops at a fixed arrival period — an open loop: op i
+// launches at start+i·period whether or not earlier ops finished, the
+// YCSB arrival model — and measures each op's latency from its scheduled
+// arrival, so queueing delay is charged to the system, not hidden by a
+// stalled client. Ops shed by admission control (index.ErrOverload) are
+// counted, not failed; any other error is a hard failure.
+func openLoop(ops []loadOp, period time.Duration, do func(loadOp) error) (lats []float64, shed int, hard error) {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range ops {
+		target := start.Add(time.Duration(i) * period)
+		if d := time.Until(target); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(op loadOp, target time.Time) {
+			defer wg.Done()
+			err := do(op)
+			lat := msSince(target)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				lats = append(lats, lat)
+			case errors.Is(err, index.ErrOverload):
+				shed++
+			default:
+				if hard == nil {
+					hard = err
+				}
+			}
+		}(ops[i], target)
+	}
+	wg.Wait()
+	return lats, shed, hard
+}
+
+// closedLoop serves ops from a fixed worker count, each worker issuing
+// its next request as soon as the last returns — the calibration loop
+// that measures what the store can actually sustain.
+func closedLoop(workers int, ops []loadOp, do func(loadOp) error) (ok, shed int, wallMs float64, hard error) {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(ops); i += workers {
+				err := do(ops[i])
+				mu.Lock()
+				switch {
+				case err == nil:
+					ok++
+				case errors.Is(err, index.ErrOverload):
+					shed++
+				default:
+					if hard == nil {
+						hard = err
+					}
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	return ok, shed, msSince(start), hard
+}
+
+// openLoopPoint is one measured (distribution, offered-rate) coordinate.
+type openLoopPoint struct {
+	dist, rate string
+	ok, shed   int
+	p50, p99   float64
+	wallMs     float64
+	stats      pdm.Stats
+}
+
+// robustOpenLoop builds an admission-controlled store over keys 1..n and
+// serves the pre-generated mix at half and at twice its calibrated
+// closed-loop capacity. The pool is soaked down so concurrent scans — the
+// frame-hungry requests — genuinely contend: at 2x the only acceptable
+// failure is a typed shed.
+func robustOpenLoop(n, totalOps int, latency time.Duration, zipfDist bool) ([]openLoopPoint, error) {
+	dist := "uniform"
+	seed := int64(0xF15)
+	if zipfDist {
+		dist = "zipf"
+		seed = 0x215F
+	}
+	vol, err := newVolume(pdm.Config{BlockBytes: 1024, MemBlocks: 192, Disks: 2, DiskLatency: latency})
+	if err != nil {
+		return nil, err
+	}
+	defer vol.Close()
+	pool := pdm.PoolFor(vol)
+	st, err := store.Open(vol, pool, store.Config{
+		FrontOps: 1 << 20, CacheFrames: 8, Width: 2,
+		AdmitQueue: 16, AdmitWait: 25 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	for k := 1; k <= n; k++ {
+		if err := st.Insert(uint64(k), uint64(k)*3); err != nil {
+			return nil, err
+		}
+	}
+	if err := st.Drain(); err != nil {
+		return nil, err
+	}
+
+	do := func(op loadOp) error {
+		switch op.kind {
+		case opRead:
+			_, _, err := st.GetBatch(op.keys)
+			return err
+		case opInsert:
+			return st.Insert(op.k, op.v)
+		default:
+			sc, err := st.Scan(op.lo, op.hi)
+			if err != nil {
+				return err
+			}
+			for {
+				_, ok, err := sc.Next()
+				if err != nil {
+					sc.Close()
+					return err
+				}
+				if !ok {
+					sc.Close()
+					return nil
+				}
+			}
+		}
+	}
+
+	// Warm the generation's point-read cache, then establish the scan's
+	// frame appetite, so the soak below can leave room for only ~1.5
+	// concurrent scans: overload must manifest as pool contention the
+	// admission gate arbitrates, whatever the host's absolute speed.
+	warm := makeOps(8, n, zipfDist, seed+1)
+	for _, op := range warm {
+		if op.kind == opInsert {
+			continue
+		}
+		if err := do(op); err != nil {
+			return nil, fmt.Errorf("F15 %s warm-up: %w", dist, err)
+		}
+	}
+	before := pool.Free()
+	sc, err := st.Scan(1, 128)
+	if err != nil {
+		return nil, err
+	}
+	scanCost := before - pool.Free()
+	sc.Close()
+	if target := scanCost + scanCost/2; pool.Free() > target {
+		soak, err := pool.AllocN(pool.Free() - target)
+		if err != nil {
+			return nil, err
+		}
+		defer pdm.ReleaseAll(soak)
+	}
+
+	// Calibrate: a short closed loop measures sustainable throughput; the
+	// open-loop rates are set relative to it so "2x oversubscribed" means
+	// the same thing on a laptop and in CI.
+	cal := makeOps(totalOps/3, n, zipfDist, seed+2)
+	ok, _, calMs, hard := closedLoop(6, cal, do)
+	if hard != nil {
+		return nil, fmt.Errorf("F15 %s calibration: %w", dist, hard)
+	}
+	if ok == 0 {
+		return nil, fmt.Errorf("F15 %s calibration: no op succeeded", dist)
+	}
+	perOp := time.Duration(calMs/float64(ok)*1e6) * time.Nanosecond
+
+	var out []openLoopPoint
+	for _, rate := range []struct {
+		name   string
+		period time.Duration
+	}{
+		{"0.5x", 2 * perOp},
+		{"2x", perOp / 2},
+	} {
+		ops := makeOps(totalOps, n, zipfDist, seed+3)
+		vol.Stats().Reset()
+		start := time.Now()
+		lats, shed, hard := openLoop(ops, rate.period, do)
+		if hard != nil {
+			return nil, fmt.Errorf("F15 %s/%s gate: hard error escaped admission control: %w", dist, rate.name, hard)
+		}
+		out = append(out, openLoopPoint{
+			dist: dist, rate: rate.name,
+			ok: len(lats), shed: shed,
+			p50: pctl(lats, 0.50), p99: pctl(lats, 0.99),
+			wallMs: msSince(start), stats: vol.Stats().Snapshot(),
+		})
+	}
+	return out, nil
+}
+
+// servePoint is one clean-or-faulted serving measurement.
+type servePoint struct {
+	p50, p99          float64
+	stats             pdm.Stats
+	injected, retries uint64
+	batches, served   int
+}
+
+// robustServe builds a bulk-loaded B-tree in the F12 serving posture on a
+// volume with the given fault plan and retry policy, then serves a fixed
+// sequence of 16-key batches single-threaded, recording per-batch
+// latency. The same seed drives the clean and faulted twins, so their
+// counted I/Os must come out identical when every fault retries to
+// success.
+func robustServe(n, batches int, latency time.Duration, plan *pdm.FaultPlan) (*servePoint, error) {
+	cfg := pdm.Config{BlockBytes: 1024, MemBlocks: 256, Disks: 2, DiskLatency: latency}
+	if plan != nil {
+		cfg.Fault = plan
+		cfg.Retry = &pdm.RetryPolicy{MaxRetries: 8}
+	}
+	vol, err := newVolume(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer vol.Close()
+	pool := pdm.PoolFor(vol)
+	recs := make([]record.Record, n)
+	for i := range recs {
+		recs[i] = record.Record{Key: uint64(i + 1), Val: uint64(i+1) * 3}
+	}
+	sf, err := stream.FromSlice(vol, pool, record.RecordCodec{}, recs)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := btree.BulkLoad(vol, pool, 16, sf, &btree.BulkLoadOptions{Width: 2, Async: true, WriteBehind: true})
+	if err != nil {
+		return nil, err
+	}
+	defer tr.Close()
+	if err := tr.Rehome(pool, 16); err != nil {
+		return nil, err
+	}
+	if err := tr.Warm(); err != nil {
+		return nil, err
+	}
+
+	vol.Stats().Reset()
+	rng := rand.New(rand.NewSource(0xF15A))
+	var lats []float64
+	served := 0
+	for b := 0; b < batches; b++ {
+		keys := make([]uint64, 16)
+		for i := range keys {
+			keys[i] = uint64(rng.Intn(n) + 1)
+		}
+		start := time.Now()
+		vals, found, err := tr.GetBatch(keys)
+		if err != nil {
+			return nil, fmt.Errorf("F15 serve batch %d: %w", b, err)
+		}
+		lats = append(lats, msSince(start))
+		for i, k := range keys {
+			if !found[i] || vals[i] != k*3 {
+				return nil, fmt.Errorf("F15 serve: GetBatch(%d) = (%d,%v), want (%d,true)", k, vals[i], found[i], k*3)
+			}
+			served++
+		}
+	}
+	pt := &servePoint{
+		p50: pctl(lats, 0.50), p99: pctl(lats, 0.99),
+		stats: vol.Stats().Snapshot(), batches: batches, served: served,
+	}
+	pt.retries = pt.stats.Retries
+	if fb := vol.Fault(); fb != nil {
+		pt.injected = uint64(fb.Injected())
+	}
+	return pt, nil
+}
+
+// crashedShardBatch builds a two-shard tree whose upper shard's volume
+// crashes (FaultPlan.FailAfter) at the first serving op — the crash point
+// is calibrated from a fault-free dry run of the identical build — and
+// fans one batch across both shards. It returns the PartialError's shape:
+// failed and answered shard counts and how many of the batch's keys the
+// surviving shard served correctly.
+func crashedShardBatch(n int, latency time.Duration) (failed, answered, servedKeys int, err error) {
+	cfg := pdm.Config{BlockBytes: 1024, MemBlocks: 256, Disks: 2, DiskLatency: latency}
+	build := func(c pdm.Config, lo, hi int) (*pdm.Volume, *btree.Tree, error) {
+		vol, err := newVolume(c)
+		if err != nil {
+			return nil, nil, err
+		}
+		pool := pdm.PoolFor(vol)
+		recs := make([]record.Record, 0, hi-lo+1)
+		for k := lo; k <= hi; k++ {
+			recs = append(recs, record.Record{Key: uint64(k), Val: uint64(k) * 3})
+		}
+		sf, err := stream.FromSlice(vol, pool, record.RecordCodec{}, recs)
+		if err != nil {
+			vol.Close()
+			return nil, nil, err
+		}
+		tr, err := btree.BulkLoad(vol, pool, 16, sf, &btree.BulkLoadOptions{Width: 2, Async: true, WriteBehind: true})
+		if err != nil {
+			vol.Close()
+			return nil, nil, err
+		}
+		if err := tr.Rehome(pool, 16); err != nil {
+			tr.Close()
+			vol.Close()
+			return nil, nil, err
+		}
+		if err := tr.Warm(); err != nil {
+			tr.Close()
+			vol.Close()
+			return nil, nil, err
+		}
+		return vol, tr, nil
+	}
+
+	// Dry run: the identical upper-shard build on a fault-free volume
+	// counts the ops the build consumes, so FailAfter lands exactly on the
+	// first serving op.
+	dryVol, dryTr, err := build(cfg, n/2+1, n)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	s := dryVol.Stats().Snapshot()
+	buildOps := int64(s.Reads + s.Writes)
+	dryTr.Close()
+	dryVol.Close()
+
+	cleanVol, shard0, err := build(cfg, 1, n/2)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer cleanVol.Close()
+	crashCfg := cfg
+	crashCfg.Fault = &pdm.FaultPlan{Seed: 1, FailAfter: buildOps}
+	crashVol, shard1, err := build(crashCfg, n/2+1, n)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer crashVol.Close()
+	sharded, err := shard.NewTree([]*btree.Tree{shard0, shard1}, &shard.TreeOptions{Splits: []uint64{uint64(n/2) + 1}})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	// The crashed shard's Close fails with the volume dead; the check is
+	// about the batch, not the teardown.
+	defer sharded.Close() //nolint:errcheck
+
+	keys := make([]uint64, 64)
+	for i := range keys {
+		keys[i] = uint64((i*n)/len(keys) + 1)
+	}
+	vals, found, err := sharded.GetBatch(keys)
+	var pe *shard.PartialError
+	if !errors.As(err, &pe) {
+		return 0, 0, 0, fmt.Errorf("F15 crash gate: expected a *shard.PartialError, got %v", err)
+	}
+	if !errors.Is(err, pdm.ErrFaulted) {
+		return 0, 0, 0, fmt.Errorf("F15 crash gate: cause does not unwrap to pdm.ErrFaulted: %v", err)
+	}
+	for i, k := range keys {
+		if !pe.Served[i] {
+			continue
+		}
+		if !found[i] || vals[i] != k*3 {
+			return 0, 0, 0, fmt.Errorf("F15 crash gate: served key %d = (%d,%v), want (%d,true)", k, vals[i], found[i], k*3)
+		}
+		servedKeys++
+	}
+	return len(pe.Failed), len(pe.Answered), servedKeys, nil
+}
+
+// F15Robustness measures the serving stack under overload and faults and
+// enforces the robustness gates:
+//
+//   - open loop at 2x the calibrated capacity sheds (typed ErrOverload)
+//     rather than erroring — zero hard errors, some sheds, some successes
+//     — under both uniform and Zipf key popularity;
+//   - a faulted volume with retries serves the identical workload with
+//     identical counted I/Os (Stats byte-identical modulo the Retries
+//     audit), injected faults actually fired, and p99 within a bounded
+//     multiple of the clean run's;
+//   - a batch spanning a crashed shard degrades gracefully: a
+//     *shard.PartialError naming the dead shard, the surviving shard's
+//     answers intact.
+func F15Robustness(n, totalOps int, latency time.Duration) (*Table, error) {
+	t := &Table{
+		ID:    "F15",
+		Title: "robustness: open-loop overload sheds typed; faulted retries keep counted I/Os; crashed shard degrades",
+		Notes: "gates: 2x load sheds>0 ok>0 hard=0; faulted p99 <= 8x clean, stats identical modulo retries; partial batch survives",
+	}
+	for _, zipfDist := range []bool{false, true} {
+		pts, err := robustOpenLoop(n, totalOps, latency, zipfDist)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pts {
+			if p.rate == "2x" {
+				if p.shed == 0 {
+					return nil, fmt.Errorf("F15 %s/2x gate: oversubscribed load shed nothing (ok=%d)", p.dist, p.ok)
+				}
+				if p.ok == 0 {
+					return nil, fmt.Errorf("F15 %s/2x gate: oversubscribed load served nothing (shed=%d)", p.dist, p.shed)
+				}
+			}
+			total := p.ok + p.shed
+			t.Rows = append(t.Rows, Row{
+				Label: p.dist + "/" + p.rate,
+				Cells: map[string]float64{
+					"ok": float64(p.ok), "shed": float64(p.shed),
+					"shedPct": 100 * float64(p.shed) / float64(total),
+					"p50Ms":   p.p50, "p99Ms": p.p99,
+					"reads": float64(p.stats.Reads), "retries": 0, "injected": 0,
+				},
+				Order: f15Cols,
+			})
+		}
+	}
+
+	batches := totalOps / 2
+	clean, err := robustServe(n, batches, latency, nil)
+	if err != nil {
+		return nil, err
+	}
+	faulted, err := robustServe(n, batches, latency, &pdm.FaultPlan{
+		Seed: 0xF15, ReadErr: 0.04, WriteErr: 0.02, StallEvery: 128, Stall: latency,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if faulted.injected == 0 {
+		return nil, fmt.Errorf("F15 fault gate: the plan injected nothing — the workload is too short for its rates")
+	}
+	if faulted.retries == 0 {
+		return nil, fmt.Errorf("F15 fault gate: no retries recorded despite %d injected faults", faulted.injected)
+	}
+	fs := faulted.stats
+	fs.Retries = 0
+	if !reflect.DeepEqual(clean.stats, fs) {
+		return nil, fmt.Errorf("F15 fault gate: counted I/Os differ from the clean run:\nclean:   %+v\nfaulted: %+v", clean.stats, fs)
+	}
+	floor := float64(latency.Microseconds()) / 1000
+	if bound := 8 * clean.p99; clean.p99 > 0 && faulted.p99 > bound && faulted.p99 > 8*floor {
+		return nil, fmt.Errorf("F15 fault gate: faulted p99 %.2fms exceeds 8x clean p99 %.2fms", faulted.p99, clean.p99)
+	}
+	t.Rows = append(t.Rows,
+		Row{
+			Label: "serve/clean",
+			Cells: map[string]float64{"ok": float64(clean.served), "shed": 0, "shedPct": 0,
+				"p50Ms": clean.p50, "p99Ms": clean.p99,
+				"reads": float64(clean.stats.Reads), "retries": 0, "injected": 0},
+			Order: f15Cols,
+		},
+		Row{
+			Label: "serve/faulted",
+			Cells: map[string]float64{"ok": float64(faulted.served), "shed": 0, "shedPct": 0,
+				"p50Ms": faulted.p50, "p99Ms": faulted.p99,
+				"reads": float64(faulted.stats.Reads), "retries": float64(faulted.retries),
+				"injected": float64(faulted.injected)},
+			Order: f15Cols,
+		})
+
+	failedShards, answeredShards, servedKeys, err := crashedShardBatch(n, latency)
+	if err != nil {
+		return nil, err
+	}
+	if failedShards != 1 || answeredShards != 1 {
+		return nil, fmt.Errorf("F15 crash gate: expected 1 failed + 1 answered shard, got %d + %d", failedShards, answeredShards)
+	}
+	if servedKeys == 0 {
+		return nil, fmt.Errorf("F15 crash gate: the surviving shard served no keys")
+	}
+	// The crash row reuses the shared columns: ok is the keys the surviving
+	// shard answered, shed the keys the dead shard dropped.
+	t.Rows = append(t.Rows, Row{
+		Label: "crash/partial",
+		Cells: map[string]float64{"ok": float64(servedKeys), "shed": float64(64 - servedKeys),
+			"shedPct": 100 * float64(64-servedKeys) / 64, "p50Ms": 0, "p99Ms": 0,
+			"reads": 0, "retries": 0, "injected": 0},
+		Order: f15Cols,
+	})
+	return t, nil
+}
+
+// f15Cols is the one column set every F15 row shares (Table.String renders
+// the first row's Order for all rows).
+var f15Cols = []string{"ok", "shed", "shedPct", "p50Ms", "p99Ms", "reads", "retries", "injected"}
+
+// robustBenchPoint contributes the robustness trajectory points: the
+// open-loop latency/shed profile per (distribution, offered rate), and
+// the clean-vs-faulted serving pair whose counted I/Os must match.
+func robustBenchPoint(n, totalOps int, latency time.Duration) ([]BenchResult, error) {
+	var out []BenchResult
+	for _, zipfDist := range []bool{false, true} {
+		pts, err := robustOpenLoop(n, totalOps, latency, zipfDist)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pts {
+			out = append(out, BenchResult{
+				Workload: "openloop", Mode: p.dist + "-" + p.rate, Disks: 2,
+				Records: p.ok + p.shed, WallMs: p.wallMs,
+				Reads: p.stats.Reads, Writes: p.stats.Writes, Steps: p.stats.Steps,
+				Retries: p.stats.Retries, P50Ms: p.p50, P99Ms: p.p99, Shed: uint64(p.shed),
+			})
+		}
+	}
+	batches := totalOps / 2
+	clean, err := robustServe(n, batches, latency, nil)
+	if err != nil {
+		return nil, err
+	}
+	faulted, err := robustServe(n, batches, latency, &pdm.FaultPlan{
+		Seed: 0xF15, ReadErr: 0.04, WriteErr: 0.02, StallEvery: 128, Stall: latency,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range []struct {
+		mode string
+		pt   *servePoint
+	}{{"clean", clean}, {"faulted", faulted}} {
+		out = append(out, BenchResult{
+			Workload: "faulted-serve", Mode: p.mode, Disks: 2,
+			Records: p.pt.batches, WallMs: 0,
+			Reads: p.pt.stats.Reads, Writes: p.pt.stats.Writes, Steps: p.pt.stats.Steps,
+			Retries: p.pt.retries, P50Ms: p.pt.p50, P99Ms: p.pt.p99,
+		})
+	}
+	return out, nil
+}

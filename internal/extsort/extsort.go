@@ -20,8 +20,11 @@ import (
 )
 
 // ErrEmptyPool reports that the pool cannot support even the minimal
-// reader/writer configuration.
-var ErrEmptyPool = errors.New("extsort: pool too small for external sort")
+// reader/writer configuration. It wraps pdm.ErrNoFrames, so every layer's
+// starved-pool errors are uniform: errors.Is(err, pdm.ErrNoFrames) holds
+// whether the starvation surfaced here, in a session open, or in a
+// sharded fan-out.
+var ErrEmptyPool = fmt.Errorf("extsort: pool too small for external sort: %w", pdm.ErrNoFrames)
 
 // RunMode selects the run-formation technique.
 type RunMode int

@@ -1,0 +1,127 @@
+package index
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"em/internal/pdm"
+)
+
+// ErrOverload is the marker for a request shed by admission control: the
+// serving layer was starved of frames, the request waited its bounded turn,
+// and the queue or the deadline overflowed. Every shed error matches both
+// errors.Is(err, ErrOverload) — "the system chose to shed" — and
+// errors.Is(err, pdm.ErrNoFrames) — the starvation underneath — so callers
+// can distinguish backpressure from a hard memory-budget violation.
+var ErrOverload = errors.New("em: overloaded, request shed")
+
+// OverloadError carries the admission decision behind a shed request.
+type OverloadError struct {
+	// Queue is the admission-queue depth observed when the request was
+	// shed (the configured bound when it was turned away at the door).
+	Queue int
+	// Wait is how long the request waited before shedding.
+	Wait time.Duration
+	// Cause is the starvation that sent the request into admission; it
+	// wraps pdm.ErrNoFrames.
+	Cause error
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("em: overloaded, request shed after %v (queue %d): %v", e.Wait, e.Queue, e.Cause)
+}
+
+// Unwrap exposes the starvation cause, so errors.Is sees pdm.ErrNoFrames.
+func (e *OverloadError) Unwrap() error { return e.Cause }
+
+// Is matches the ErrOverload marker.
+func (e *OverloadError) Is(target error) bool { return target == ErrOverload }
+
+// Gate is bounded-FIFO admission control over one pool: an operation that
+// fails with pdm.ErrNoFrames joins the queue and waits — in arrival order,
+// woken frame release by frame release — for capacity to retry on, up to a
+// deadline and a maximum queue depth. Past either bound the request is shed
+// with an OverloadError instead of surfacing the bare starvation, which
+// turns "budget M exceeded" from a hard error into backpressure the caller
+// can act on.
+//
+// Retrying the whole operation is safe because every serving entry point
+// unwinds an ErrNoFrames failure completely (the leak quick-checks pin
+// this), so a retry starts from clean pool accounting.
+//
+// A nil *Gate is valid and admits everything without waiting — admission
+// off. Gate is safe for concurrent use.
+type Gate struct {
+	pool     *pdm.Pool
+	maxQueue int
+	wait     time.Duration
+
+	mu     sync.Mutex
+	queued int
+}
+
+// Admission defaults: a queue bound or a deadline left zero when the other
+// is set picks these.
+const (
+	defaultAdmitQueue = 64
+	defaultAdmitWait  = 10 * time.Millisecond
+)
+
+// NewGate builds a gate on pool. maxQueue bounds the waiters queued at
+// once, wait bounds each request's time in the queue; a zero (or negative)
+// value for one of them picks the default when the other is set. If both
+// are unset the gate is nil: admission control off, starvation surfaces
+// immediately as pdm.ErrNoFrames.
+func NewGate(pool *pdm.Pool, maxQueue int, wait time.Duration) *Gate {
+	if maxQueue <= 0 && wait <= 0 {
+		return nil
+	}
+	if maxQueue <= 0 {
+		maxQueue = defaultAdmitQueue
+	}
+	if wait <= 0 {
+		wait = defaultAdmitWait
+	}
+	return &Gate{pool: pool, maxQueue: maxQueue, wait: wait}
+}
+
+// Do runs op, and on pool starvation queues and retries it under the
+// gate's bounds. Success and non-starvation errors pass through untouched;
+// a starved request past the bounds sheds with an *OverloadError.
+func (g *Gate) Do(op func() error) error {
+	if g == nil {
+		return op()
+	}
+	err := op()
+	if err == nil || !errors.Is(err, pdm.ErrNoFrames) || errors.Is(err, ErrOverload) {
+		return err
+	}
+	start := time.Now()
+	g.mu.Lock()
+	if g.queued >= g.maxQueue {
+		depth := g.queued
+		g.mu.Unlock()
+		return &OverloadError{Queue: depth, Cause: err}
+	}
+	g.queued++
+	g.mu.Unlock()
+	defer func() {
+		g.mu.Lock()
+		g.queued--
+		g.mu.Unlock()
+	}()
+	deadline := start.Add(g.wait)
+	for {
+		if !g.pool.WaitRelease(deadline) {
+			g.mu.Lock()
+			depth := g.queued
+			g.mu.Unlock()
+			return &OverloadError{Queue: depth, Wait: time.Since(start), Cause: err}
+		}
+		if err = op(); err == nil || !errors.Is(err, pdm.ErrNoFrames) {
+			return err
+		}
+	}
+}

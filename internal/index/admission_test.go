@@ -1,0 +1,128 @@
+package index
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"em/internal/pdm"
+)
+
+// TestGateNilPassThrough: a nil gate is admission-off.
+func TestGateNilPassThrough(t *testing.T) {
+	var g *Gate
+	sentinel := errors.New("boom")
+	if err := g.Do(func() error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("nil gate must pass errors through, got %v", err)
+	}
+	if NewGate(pdm.NewPool(64, 1), 0, 0) != nil {
+		t.Fatal("both bounds zero must disable the gate")
+	}
+}
+
+// TestGateShedsTyped: a starved op past the deadline sheds with an error
+// matching both ErrOverload and pdm.ErrNoFrames.
+func TestGateShedsTyped(t *testing.T) {
+	p := pdm.NewPool(64, 1)
+	f := p.MustAlloc() // starve the pool for the whole test
+	defer f.Release()
+	g := NewGate(p, 4, 5*time.Millisecond)
+	err := g.Do(func() error {
+		_, err := p.Alloc()
+		return err
+	})
+	if err == nil {
+		t.Fatal("expected a shed")
+	}
+	if !errors.Is(err, ErrOverload) {
+		t.Fatalf("shed must match ErrOverload: %v", err)
+	}
+	if !errors.Is(err, pdm.ErrNoFrames) {
+		t.Fatalf("shed must still match pdm.ErrNoFrames: %v", err)
+	}
+	var oe *OverloadError
+	if !errors.As(err, &oe) {
+		t.Fatalf("shed must carry an *OverloadError: %v", err)
+	}
+	if oe.Wait <= 0 {
+		t.Fatalf("the request should have waited, got %v", oe.Wait)
+	}
+	// Non-starvation errors bypass admission entirely.
+	sentinel := errors.New("not starvation")
+	if err := g.Do(func() error { return sentinel }); !errors.Is(err, sentinel) || errors.Is(err, ErrOverload) {
+		t.Fatalf("non-starvation error mishandled: %v", err)
+	}
+}
+
+// TestGateWaitsForRelease: a starved request parked in the gate succeeds
+// once the frame holder releases, instead of shedding.
+func TestGateWaitsForRelease(t *testing.T) {
+	p := pdm.NewPool(64, 1)
+	f := p.MustAlloc()
+	g := NewGate(p, 4, 5*time.Second)
+	done := make(chan error, 1)
+	go func() {
+		done <- g.Do(func() error {
+			got, err := p.Alloc()
+			if err == nil {
+				got.Release()
+			}
+			return err
+		})
+	}()
+	time.Sleep(20 * time.Millisecond) // let the request park
+	f.Release()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("parked request should have succeeded after the release: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked request never woke")
+	}
+}
+
+// TestGateQueueBound: waiters beyond AdmitQueue are turned away at the
+// door with zero wait.
+func TestGateQueueBound(t *testing.T) {
+	p := pdm.NewPool(64, 1)
+	f := p.MustAlloc()
+	g := NewGate(p, 2, time.Minute)
+	var wg sync.WaitGroup
+	parked := make(chan struct{}, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g.Do(func() error {
+				fr, err := p.Alloc()
+				if err != nil {
+					select {
+					case parked <- struct{}{}:
+					default:
+					}
+					return err
+				}
+				fr.Release()
+				return nil
+			})
+		}()
+	}
+	<-parked
+	<-parked
+	time.Sleep(20 * time.Millisecond) // both now in the queue
+	err := g.Do(func() error {
+		_, err := p.Alloc()
+		return err
+	})
+	var oe *OverloadError
+	if !errors.As(err, &oe) {
+		t.Fatalf("third request should shed at the door: %v", err)
+	}
+	if oe.Wait != 0 {
+		t.Fatalf("door shed should not have waited, got %v", oe.Wait)
+	}
+	f.Release() // unblock the queued requests; each release hands off in turn
+	wg.Wait()
+}

@@ -1,0 +1,221 @@
+package pdm
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+)
+
+// Fault classification. Transient errors are the retryable class — a flaky
+// pread, a device momentarily busy — that the Volume's retry policy (see
+// Config.Retry) may re-drive; everything else is permanent and propagates
+// unchanged. The classification is a wrapping marker, so any backend (or
+// test double) can tag its own errors without depending on the injector.
+var (
+	// ErrTransient is the marker matched by IsTransient. It never surfaces
+	// alone; Transient wraps it together with the underlying cause.
+	ErrTransient = errors.New("pdm: transient I/O error")
+	// ErrFaulted is the permanent error a FaultBackend returns once its
+	// fail-after-N crash point has been reached: the disk is dead, retries
+	// are pointless, and every subsequent transfer fails the same way.
+	ErrFaulted = errors.New("pdm: disk failed (fault-plan crash point)")
+)
+
+// transientErr tags an error as transient. Unwrap exposes both the marker
+// and the cause, so errors.Is sees ErrTransient and the original error.
+type transientErr struct{ cause error }
+
+func (e *transientErr) Error() string   { return e.cause.Error() }
+func (e *transientErr) Unwrap() []error { return []error{ErrTransient, e.cause} }
+
+// Transient classifies err as retryable. Transient(nil) is nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientErr{cause: err}
+}
+
+// IsTransient reports whether err is classified retryable.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
+
+// FaultPlan is a deterministic, seeded schedule of injected faults. Wrapped
+// around any Backend (via Config.Fault or NewFaultBackend) it exercises the
+// unwind and retry paths mechanically: the same seed replays the same
+// faults, so a test that survives once survives always.
+//
+// Faults are injected before the wrapped backend moves any data, so a
+// transient fault never leaves a partial transfer behind: a read that
+// retries to success yields exactly the clean run's bytes, and — because
+// the Volume charges its counters before the backend is invoked at all —
+// exactly the clean run's counted I/Os. The sim==file byte-identity
+// invariant therefore extends to faulted runs that retry to success.
+type FaultPlan struct {
+	// Seed fixes the per-disk random streams. Two backends with the same
+	// plan inject the same faults at the same per-disk service sequence
+	// positions, on any backend and any medium.
+	Seed int64
+	// ReadErr and WriteErr are the per-transfer probabilities, in [0, 1],
+	// of failing a read (resp. write) with a Transient-classified error.
+	ReadErr  float64
+	WriteErr float64
+	// StallEvery injects a latency spike: every k-th service call on a
+	// disk sleeps Stall before transferring. Zero disables stalls.
+	StallEvery int
+	// Stall is the duration of an injected spike.
+	Stall time.Duration
+	// FailAfter, when positive, is the crash point: after this many
+	// successful transfers (volume-wide) every call fails permanently
+	// with ErrFaulted. Zero means the disk never dies.
+	FailAfter int64
+}
+
+// Validate reports whether the plan is usable.
+func (p FaultPlan) Validate() error {
+	if p.ReadErr < 0 || p.ReadErr > 1 || p.WriteErr < 0 || p.WriteErr > 1 {
+		return fmt.Errorf("pdm: fault probabilities must be in [0,1], got read %v write %v", p.ReadErr, p.WriteErr)
+	}
+	if p.StallEvery < 0 || p.Stall < 0 {
+		return fmt.Errorf("pdm: stall plan must be non-negative, got every %d for %v", p.StallEvery, p.Stall)
+	}
+	if p.FailAfter < 0 {
+		return fmt.Errorf("pdm: FailAfter must be non-negative, got %d", p.FailAfter)
+	}
+	return nil
+}
+
+// faultDisk is one disk's injection state. No lock: the Volume serialises
+// Service calls per disk (see the Backend contract), so the stream of draws
+// on a disk is deterministic under any goroutine interleaving.
+type faultDisk struct {
+	rng *rand.Rand
+	ops int64 // service calls on this disk, including faulted attempts
+}
+
+// FaultBackend wraps a Backend with a FaultPlan. Construct one directly for
+// tests that need the injection counters, or set Config.Fault to have
+// NewVolume wrap whichever backend the config selects.
+type FaultBackend struct {
+	inner Backend
+	plan  FaultPlan
+	disks []faultDisk
+
+	good     atomic.Int64 // successful transfers, volume-wide (FailAfter clock)
+	injected atomic.Int64 // transient faults injected
+	stalls   atomic.Int64 // latency spikes injected
+}
+
+// NewFaultBackend wraps inner for a volume of disks disks. The plan must
+// validate.
+func NewFaultBackend(inner Backend, disks int, plan FaultPlan) (*FaultBackend, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	if disks < 1 {
+		return nil, fmt.Errorf("pdm: fault backend needs at least one disk, got %d", disks)
+	}
+	f := &FaultBackend{inner: inner, plan: plan, disks: make([]faultDisk, disks)}
+	for i := range f.disks {
+		// One independent deterministic stream per disk, derived from the
+		// plan seed; the odd multiplier decorrelates the disks.
+		f.disks[i].rng = rand.New(rand.NewSource(plan.Seed ^ (int64(i+1) * 0x5851f42d4c957f2d)))
+	}
+	return f, nil
+}
+
+// Service injects the plan's faults, then delegates to the wrapped backend.
+// Transient faults fire before any data moves, so a retried transfer is
+// indistinguishable from a clean one.
+func (f *FaultBackend) Service(disk int, slot int64, buf []byte, write bool) error {
+	if f.plan.FailAfter > 0 && f.good.Load() >= f.plan.FailAfter {
+		return fmt.Errorf("%w: disk %d slot %d", ErrFaulted, disk, slot)
+	}
+	d := &f.disks[disk]
+	d.ops++
+	if f.plan.StallEvery > 0 && f.plan.Stall > 0 && d.ops%int64(f.plan.StallEvery) == 0 {
+		f.stalls.Add(1)
+		time.Sleep(f.plan.Stall)
+	}
+	p, kind := f.plan.ReadErr, "read"
+	if write {
+		p, kind = f.plan.WriteErr, "write"
+	}
+	if p > 0 && d.rng.Float64() < p {
+		f.injected.Add(1)
+		return Transient(fmt.Errorf("pdm: injected %s fault on disk %d slot %d", kind, disk, slot))
+	}
+	if err := f.inner.Service(disk, slot, buf, write); err != nil {
+		return err
+	}
+	f.good.Add(1)
+	return nil
+}
+
+// Close closes the wrapped backend.
+func (f *FaultBackend) Close() error { return f.inner.Close() }
+
+// Injected returns the number of transient faults injected so far.
+func (f *FaultBackend) Injected() int64 { return f.injected.Load() }
+
+// Stalls returns the number of latency spikes injected so far.
+func (f *FaultBackend) Stalls() int64 { return f.stalls.Load() }
+
+// Crashed reports whether the fail-after-N crash point has been reached.
+func (f *FaultBackend) Crashed() bool {
+	return f.plan.FailAfter > 0 && f.good.Load() >= f.plan.FailAfter
+}
+
+// RetryPolicy drives the Volume's handling of Transient-classified service
+// errors: capped exponential backoff under a per-op deadline. Permanent
+// errors are never retried. Zero-valued fields pick the defaults noted on
+// each; the zero policy as a whole is therefore usable.
+type RetryPolicy struct {
+	// MaxRetries bounds the re-drives of one block transfer (the first
+	// attempt is not a retry). Zero means 4.
+	MaxRetries int
+	// BaseBackoff is the sleep before the first retry; it doubles per
+	// retry up to MaxBackoff. Zero means 50µs.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential backoff. Zero means 2ms.
+	MaxBackoff time.Duration
+	// OpDeadline bounds one transfer's total retry budget, backoff
+	// included: a retry that cannot complete its sleep before the
+	// deadline is not attempted and the transfer fails with the last
+	// transient error. Zero means no deadline.
+	OpDeadline time.Duration
+}
+
+// Validate reports whether the policy is usable.
+func (r RetryPolicy) Validate() error {
+	if r.MaxRetries < 0 {
+		return fmt.Errorf("pdm: MaxRetries must be non-negative, got %d", r.MaxRetries)
+	}
+	if r.BaseBackoff < 0 || r.MaxBackoff < 0 || r.OpDeadline < 0 {
+		return fmt.Errorf("pdm: retry durations must be non-negative, got base %v max %v deadline %v",
+			r.BaseBackoff, r.MaxBackoff, r.OpDeadline)
+	}
+	return nil
+}
+
+func (r RetryPolicy) maxRetries() int {
+	if r.MaxRetries == 0 {
+		return 4
+	}
+	return r.MaxRetries
+}
+
+func (r RetryPolicy) base() time.Duration {
+	if r.BaseBackoff == 0 {
+		return 50 * time.Microsecond
+	}
+	return r.BaseBackoff
+}
+
+func (r RetryPolicy) cap() time.Duration {
+	if r.MaxBackoff == 0 {
+		return 2 * time.Millisecond
+	}
+	return r.MaxBackoff
+}

@@ -1,0 +1,250 @@
+package pdm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestTransientClassification pins the marker contract: Transient wraps
+// both the marker and the cause, permanent errors stay permanent.
+func TestTransientClassification(t *testing.T) {
+	if Transient(nil) != nil {
+		t.Fatal("Transient(nil) must be nil")
+	}
+	cause := errors.New("flaky pread")
+	err := Transient(cause)
+	if !IsTransient(err) {
+		t.Fatal("Transient error not classified transient")
+	}
+	if !errors.Is(err, cause) {
+		t.Fatal("Transient must preserve the cause for errors.Is")
+	}
+	if wrapped := fmt.Errorf("outer: %w", err); !IsTransient(wrapped) {
+		t.Fatal("classification must survive further wrapping")
+	}
+	if IsTransient(cause) {
+		t.Fatal("unwrapped cause must not be transient")
+	}
+	if IsTransient(ErrFaulted) {
+		t.Fatal("the crash-point error is permanent by definition")
+	}
+}
+
+// faultWorkload writes then reads back n blocks through both the single
+// and batched paths, returning the read-back payloads.
+func faultWorkload(t *testing.T, v *Volume, n int) [][]byte {
+	t.Helper()
+	bb := v.BlockBytes()
+	addr := v.Alloc(n)
+	srcs := make([][]byte, n)
+	addrs := make([]int64, n)
+	for i := range srcs {
+		srcs[i] = make([]byte, bb)
+		binary.LittleEndian.PutUint64(srcs[i], uint64(i)*0x9e37+1)
+		addrs[i] = addr + int64(i)
+	}
+	half := n / 2
+	for i := 0; i < half; i++ {
+		if err := v.WriteBlock(addrs[i], srcs[i]); err != nil {
+			t.Fatalf("WriteBlock: %v", err)
+		}
+	}
+	if err := v.BatchWrite(addrs[half:], srcs[half:]); err != nil {
+		t.Fatalf("BatchWrite: %v", err)
+	}
+	dsts := make([][]byte, n)
+	for i := range dsts {
+		dsts[i] = make([]byte, bb)
+	}
+	for i := 0; i < half; i++ {
+		if err := v.ReadBlock(addrs[i], dsts[i]); err != nil {
+			t.Fatalf("ReadBlock: %v", err)
+		}
+	}
+	if err := v.BatchRead(addrs[half:], dsts[half:]); err != nil {
+		t.Fatalf("BatchRead: %v", err)
+	}
+	for i := range dsts {
+		if !reflect.DeepEqual(srcs[i], dsts[i]) {
+			t.Fatalf("block %d corrupted by faulted run", i)
+		}
+	}
+	return dsts
+}
+
+// TestRetryToSuccessIdentity is the tentpole invariant: a seeded transient
+// fault plan with retries enabled completes with output and counted I/Os
+// identical to the clean run, the extra attempts visible only in
+// Stats.Retries — on the in-memory and the file backend alike.
+func TestRetryToSuccessIdentity(t *testing.T) {
+	const n = 64
+	for _, lat := range []time.Duration{0, 100 * time.Microsecond} {
+		for _, file := range []bool{false, true} {
+			name := fmt.Sprintf("file=%v/latency=%v", file, lat)
+			cfg := Config{BlockBytes: 512, MemBlocks: 32, Disks: 4, DiskLatency: lat}
+			if file {
+				cfg.Dir = t.TempDir()
+			}
+			clean := MustVolume(cfg)
+			faultCfg := cfg
+			if file {
+				faultCfg.Dir = t.TempDir()
+			}
+			faultCfg.Fault = &FaultPlan{Seed: 42, ReadErr: 0.05, WriteErr: 0.05}
+			faultCfg.Retry = &RetryPolicy{MaxRetries: 8, BaseBackoff: 10 * time.Microsecond}
+			faulted := MustVolume(faultCfg)
+
+			cleanOut := faultWorkload(t, clean, n)
+			faultOut := faultWorkload(t, faulted, n)
+			if !reflect.DeepEqual(cleanOut, faultOut) {
+				t.Fatalf("%s: faulted output differs from clean run", name)
+			}
+			cs, fs := clean.Stats().Snapshot(), faulted.Stats().Snapshot()
+			injected := faulted.Fault().Injected()
+			if injected == 0 {
+				t.Fatalf("%s: fault plan injected nothing; the gate is vacuous", name)
+			}
+			if fs.Retries != uint64(injected) {
+				t.Fatalf("%s: retries %d != injected faults %d", name, fs.Retries, injected)
+			}
+			fs.Retries = 0
+			if !reflect.DeepEqual(cs, fs) {
+				t.Fatalf("%s: counted I/Os differ from clean run:\nclean   %+v\nfaulted %+v", name, cs, fs)
+			}
+			if clean.Fault() != nil {
+				t.Fatalf("%s: clean volume reports a fault backend", name)
+			}
+			if err := faulted.Close(); err != nil {
+				t.Fatalf("%s: close faulted: %v", name, err)
+			}
+			if err := clean.Close(); err != nil {
+				t.Fatalf("%s: close clean: %v", name, err)
+			}
+		}
+	}
+}
+
+// TestFaultDeterminism: the same seed replays the same faults.
+func TestFaultDeterminism(t *testing.T) {
+	run := func() (Stats, int64) {
+		cfg := Config{BlockBytes: 256, MemBlocks: 16, Disks: 3,
+			Fault: &FaultPlan{Seed: 7, ReadErr: 0.1, WriteErr: 0.1},
+			Retry: &RetryPolicy{MaxRetries: 10, BaseBackoff: time.Microsecond}}
+		v := MustVolume(cfg)
+		defer v.Close()
+		faultWorkload(t, v, 40)
+		return v.Stats().Snapshot(), v.Fault().Injected()
+	}
+	s1, i1 := run()
+	s2, i2 := run()
+	if !reflect.DeepEqual(s1, s2) || i1 != i2 {
+		t.Fatalf("same seed diverged: %+v/%d vs %+v/%d", s1, i1, s2, i2)
+	}
+}
+
+// flakyBackend always fails with a transient error; it counts attempts.
+type flakyBackend struct {
+	attempts int
+	after    int // succeed after this many failures per call sequence; <0 = never
+	inner    Backend
+}
+
+func (f *flakyBackend) Service(disk int, slot int64, buf []byte, write bool) error {
+	f.attempts++
+	if f.after >= 0 && f.attempts > f.after {
+		return f.inner.Service(disk, slot, buf, write)
+	}
+	return Transient(errors.New("injected"))
+}
+
+func (f *flakyBackend) Close() error { return f.inner.Close() }
+
+// TestRetriesExhausted: a transient error that outlives the retry budget
+// escalates to the caller, still classified transient, with every attempt
+// counted.
+func TestRetriesExhausted(t *testing.T) {
+	cfg := Config{BlockBytes: 128, MemBlocks: 4, Disks: 1,
+		Retry: &RetryPolicy{MaxRetries: 3, BaseBackoff: time.Microsecond}}
+	v := MustVolume(cfg)
+	defer v.Close()
+	fb := &flakyBackend{after: -1, inner: v.backend}
+	v.backend = fb
+	addr := v.Alloc(1)
+	err := v.WriteBlock(addr, make([]byte, 128))
+	if err == nil {
+		t.Fatal("expected exhausted retries to fail")
+	}
+	if !IsTransient(err) {
+		t.Fatalf("exhausted transient error lost its classification: %v", err)
+	}
+	if fb.attempts != 4 { // 1 first attempt + 3 retries
+		t.Fatalf("attempts = %d, want 4", fb.attempts)
+	}
+	if got := v.Stats().Snapshot().Retries; got != 3 {
+		t.Fatalf("Retries = %d, want 3", got)
+	}
+	// Counters were charged exactly once for the failed op.
+	if s := v.Stats().Snapshot(); s.Writes != 1 {
+		t.Fatalf("Writes = %d, want 1", s.Writes)
+	}
+}
+
+// TestRetryOpDeadline: the per-op deadline sheds a retry whose backoff
+// cannot complete in time.
+func TestRetryOpDeadline(t *testing.T) {
+	cfg := Config{BlockBytes: 128, MemBlocks: 4, Disks: 1,
+		Retry: &RetryPolicy{MaxRetries: 100, BaseBackoff: 50 * time.Millisecond, OpDeadline: time.Millisecond}}
+	v := MustVolume(cfg)
+	defer v.Close()
+	v.backend = &flakyBackend{after: -1, inner: v.backend}
+	addr := v.Alloc(1)
+	start := time.Now()
+	err := v.WriteBlock(addr, make([]byte, 128))
+	if err == nil {
+		t.Fatal("expected deadline to fail the op")
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("deadline did not bound the op: took %v", el)
+	}
+	if got := v.Stats().Snapshot().Retries; got != 0 {
+		t.Fatalf("no retry should have been attempted, got %d", got)
+	}
+}
+
+// TestPermanentNotRetried: non-transient backend errors propagate unchanged
+// with zero retries, even under an aggressive policy.
+func TestPermanentNotRetried(t *testing.T) {
+	cfg := Config{BlockBytes: 128, MemBlocks: 8, Disks: 2,
+		Fault: &FaultPlan{Seed: 1, FailAfter: 4},
+		Retry: &RetryPolicy{MaxRetries: 50, BaseBackoff: time.Microsecond}}
+	v := MustVolume(cfg)
+	defer v.Close()
+	addr := v.Alloc(8)
+	buf := make([]byte, 128)
+	var firstErr error
+	for i := 0; i < 8; i++ {
+		if err := v.WriteBlock(addr+int64(i), buf); err != nil {
+			firstErr = err
+			break
+		}
+	}
+	if firstErr == nil {
+		t.Fatal("crash point never fired")
+	}
+	if !errors.Is(firstErr, ErrFaulted) {
+		t.Fatalf("want ErrFaulted, got %v", firstErr)
+	}
+	if IsTransient(firstErr) {
+		t.Fatal("crash-point error must not be transient")
+	}
+	if got := v.Stats().Snapshot().Retries; got != 0 {
+		t.Fatalf("permanent error was retried %d times", got)
+	}
+	if !v.Fault().Crashed() {
+		t.Fatal("Crashed() should report the crash point")
+	}
+}

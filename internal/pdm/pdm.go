@@ -118,6 +118,17 @@ type Config struct {
 	// counters and semantics are identical, only the medium changes. Close
 	// the volume to close the files; the files themselves are left behind.
 	Dir string
+	// Fault, when non-nil, wraps whichever backend the config selects in a
+	// deterministic fault-injecting layer driven by this plan — transient
+	// errors, latency spikes, a fail-after-N crash point — so unwind and
+	// retry paths are mechanically exercisable on both media. See FaultPlan.
+	Fault *FaultPlan
+	// Retry, when non-nil, re-drives Transient-classified backend errors in
+	// the per-disk service loop with capped exponential backoff under a
+	// per-op deadline, on the single-block and batched paths alike.
+	// Permanent errors propagate unchanged; every retry is counted in
+	// Stats.Retries. See RetryPolicy.
+	Retry *RetryPolicy
 }
 
 // Validate reports whether the configuration is usable.
@@ -133,6 +144,16 @@ func (c Config) Validate() error {
 	}
 	if c.DiskLatency < 0 {
 		return fmt.Errorf("pdm: DiskLatency must be non-negative, got %v", c.DiskLatency)
+	}
+	if c.Fault != nil {
+		if err := c.Fault.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Retry != nil {
+		if err := c.Retry.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -152,6 +173,12 @@ type Stats struct {
 	// over the disks costs max-blocks-per-single-disk steps; an unbatched
 	// transfer costs one step.
 	Steps uint64
+	// Retries counts transient-error re-drives performed under
+	// Config.Retry. Retried attempts are not re-charged to Reads/Writes —
+	// the transfer is the same block op, however many attempts it took —
+	// so a faulted run that retries to success reports counted I/Os
+	// identical to the clean run's, with its extra work auditable here.
+	Retries uint64
 	// PerDiskReads and PerDiskWrites break transfers down by disk. Each
 	// entry is its own atomic shard.
 	PerDiskReads  []uint64
@@ -168,6 +195,7 @@ func (s *Stats) Reset() {
 	atomic.StoreUint64(&s.Reads, 0)
 	atomic.StoreUint64(&s.Writes, 0)
 	atomic.StoreUint64(&s.Steps, 0)
+	atomic.StoreUint64(&s.Retries, 0)
 	for i := range s.PerDiskReads {
 		atomic.StoreUint64(&s.PerDiskReads[i], 0)
 	}
@@ -184,6 +212,7 @@ func (s *Stats) Snapshot() Stats {
 		Reads:         atomic.LoadUint64(&s.Reads),
 		Writes:        atomic.LoadUint64(&s.Writes),
 		Steps:         atomic.LoadUint64(&s.Steps),
+		Retries:       atomic.LoadUint64(&s.Retries),
 		PerDiskReads:  make([]uint64, len(s.PerDiskReads)),
 		PerDiskWrites: make([]uint64, len(s.PerDiskWrites)),
 	}
@@ -197,9 +226,14 @@ func (s *Stats) Snapshot() Stats {
 }
 
 // String renders the counters compactly for logs and experiment tables.
+// Retries appear only when any fired, so clean-run output is unchanged.
 func (s *Stats) String() string {
 	cp := s.Snapshot()
-	return fmt.Sprintf("reads=%d writes=%d total=%d steps=%d", cp.Reads, cp.Writes, cp.Reads+cp.Writes, cp.Steps)
+	out := fmt.Sprintf("reads=%d writes=%d total=%d steps=%d", cp.Reads, cp.Writes, cp.Reads+cp.Writes, cp.Steps)
+	if cp.Retries > 0 {
+		out += fmt.Sprintf(" retries=%d", cp.Retries)
+	}
+	return out
 }
 
 // addRead charges one read on disk d.
@@ -216,6 +250,9 @@ func (s *Stats) addWrite(d int) {
 
 // addSteps charges n parallel steps.
 func (s *Stats) addSteps(n uint64) { atomic.AddUint64(&s.Steps, n) }
+
+// addRetry counts one transient-error re-drive.
+func (s *Stats) addRetry() { atomic.AddUint64(&s.Retries, 1) }
 
 // disk is one simulated disk's scheduling state: the lock that serialises
 // its transfers (the backend holds the actual blocks) and the service-time
@@ -275,6 +312,7 @@ type Volume struct {
 	cfg     Config
 	disks   []disk
 	backend Backend
+	fault   *FaultBackend // non-nil when cfg.Fault wrapped the backend
 	stats   Stats
 
 	mu       sync.Mutex // guards next and freeList
@@ -285,8 +323,9 @@ type Volume struct {
 	workerWG  sync.WaitGroup
 	closeOnce sync.Once
 	closeErr  error
-	closeMu   sync.RWMutex // dispatchers hold R, Close holds W
-	closed    bool         // guarded by closeMu
+	closeMu   sync.RWMutex  // dispatchers hold R, Close holds W
+	closed    bool          // guarded by closeMu
+	closing   chan struct{} // closed by Close before the queues shut
 }
 
 // NewVolume creates an empty volume with the given configuration. When
@@ -297,7 +336,7 @@ func NewVolume(cfg Config) (*Volume, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	v := &Volume{cfg: cfg, disks: make([]disk, cfg.Disks)}
+	v := &Volume{cfg: cfg, disks: make([]disk, cfg.Disks), closing: make(chan struct{})}
 	if cfg.Dir != "" {
 		fb, err := newFileBackend(cfg.Dir, cfg.Disks, cfg.BlockBytes)
 		if err != nil {
@@ -306,6 +345,15 @@ func NewVolume(cfg Config) (*Volume, error) {
 		v.backend = fb
 	} else {
 		v.backend = newMemBackend(cfg.Disks, cfg.BlockBytes)
+	}
+	if cfg.Fault != nil {
+		fb, err := NewFaultBackend(v.backend, cfg.Disks, *cfg.Fault)
+		if err != nil {
+			v.backend.Close()
+			return nil, err
+		}
+		v.backend = fb
+		v.fault = fb
 	}
 	v.stats.PerDiskReads = make([]uint64, cfg.Disks)
 	v.stats.PerDiskWrites = make([]uint64, cfg.Disks)
@@ -333,13 +381,22 @@ func MustVolume(cfg Config) *Volume {
 // backend (a no-op for the in-memory simulation; the file backend closes
 // its per-disk files and returns the first close error). It is idempotent —
 // repeated calls return the first call's result — and safe to call on
-// volumes that never started workers. Close waits for in-flight transfers
-// to finish; I/O submitted after Close returns ErrClosed without charging
-// counters, on the single-block and batched paths alike.
+// volumes that never started workers. Close waits for the transfer a worker
+// is executing to finish, but an outstanding Batch*Async handle does not
+// hold Close hostage: jobs still queued when Close runs are failed with
+// ErrClosed without touching the backend, their reservations rolled back,
+// and reservation sleeps already in progress are cut short — the join
+// returns promptly (ErrClosed for any unserviced share) instead of running
+// out the reserved horizon. I/O submitted after Close returns ErrClosed
+// without charging counters, on the single-block and batched paths alike.
 func (v *Volume) Close() error {
 	v.closeOnce.Do(func() {
 		v.closeMu.Lock()
 		v.closed = true
+		// Order matters: closing is observable before the queues close, so
+		// a worker draining the queue backlog sees the shutdown and fails
+		// the leftovers instead of servicing a backend about to close.
+		close(v.closing)
 		for _, q := range v.queues {
 			close(q)
 		}
@@ -353,13 +410,24 @@ func (v *Volume) Close() error {
 // diskWorker drains disk i's request queue: it performs the data transfers
 // immediately, then holds the job until its reserved deadline passes, so a
 // batch's join completes exactly when the model says the worst disk is done.
+// Once Close has fired, remaining queued jobs fail fast with ErrClosed —
+// no transfer, no reservation sleep — and their reserved service time is
+// returned to the disk's timeline, so outstanding joins complete cleanly.
 func (v *Volume) diskWorker(i int) {
 	defer v.workerWG.Done()
 	for job := range v.queues[i] {
+		select {
+		case <-v.closing:
+			job.errs.record(ErrClosed)
+			v.unreserve(&v.disks[i], len(job.slots))
+			job.wg.Done()
+			continue
+		default:
+		}
 		for k, slot := range job.slots {
 			job.errs.record(v.service(i, slot, job.bufs[k], job.write))
 		}
-		sleepUntil(job.deadline)
+		v.sleepUntilOrClosing(job.deadline)
 		job.wg.Done()
 	}
 }
@@ -385,14 +453,80 @@ func sleepUntil(deadline time.Time) {
 	}
 }
 
+// sleepUntilOrClosing is sleepUntil cut short by Close: once the volume is
+// shutting down nobody is measuring reservation horizons any more, and a
+// join blocked on simulated service time would otherwise stall Close for
+// the whole reserved backlog.
+func (v *Volume) sleepUntilOrClosing(deadline time.Time) {
+	dt := time.Until(deadline)
+	if dt <= 0 {
+		return
+	}
+	t := time.NewTimer(dt)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-v.closing:
+	}
+}
+
+// unreserve returns n block-services to disk d's timeline — the undo of
+// reserve, used when Close fails a queued job without servicing it.
+func (v *Volume) unreserve(d *disk, n int) {
+	d.mu.Lock()
+	d.busyUntil = d.busyUntil.Add(-time.Duration(n) * v.cfg.DiskLatency)
+	d.mu.Unlock()
+}
+
 // service performs one block transfer on disk di at the given slot, holding
-// the disk's lock so the backend sees per-disk serialised access.
+// the disk's lock so the backend sees per-disk serialised access. With
+// Config.Retry set, Transient-classified backend errors are re-driven with
+// capped exponential backoff under the policy's per-op deadline; permanent
+// errors (and transient ones once the budget is exhausted) propagate.
 func (v *Volume) service(di int, slot int64, buf []byte, write bool) error {
 	d := &v.disks[di]
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return v.backend.Service(di, slot, buf, write)
+	err := v.backend.Service(di, slot, buf, write)
+	if err == nil || v.cfg.Retry == nil || !IsTransient(err) {
+		return err
+	}
+	return v.retryService(di, slot, buf, write, err)
 }
+
+// retryService re-drives one transient-failed transfer. The caller holds
+// the disk's lock throughout — the disk is a serial resource, and a
+// stalling, retrying transfer holds up that disk's queue exactly as a real
+// flaky spindle would — while the other disks keep servicing. Counters are
+// not re-charged: the transfer was charged once at dispatch, and only
+// Stats.Retries records the extra attempts.
+func (v *Volume) retryService(di int, slot int64, buf []byte, write bool, err error) error {
+	r := v.cfg.Retry
+	var deadline time.Time
+	if r.OpDeadline > 0 {
+		deadline = time.Now().Add(r.OpDeadline)
+	}
+	backoff := r.base()
+	for attempt := 0; attempt < r.maxRetries(); attempt++ {
+		if !deadline.IsZero() && !time.Now().Add(backoff).Before(deadline) {
+			return fmt.Errorf("pdm: retry deadline %v exceeded after %d attempts: %w", r.OpDeadline, attempt+1, err)
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > r.cap() {
+			backoff = r.cap()
+		}
+		v.stats.addRetry()
+		if err = v.backend.Service(di, slot, buf, write); err == nil || !IsTransient(err) {
+			return err
+		}
+	}
+	return fmt.Errorf("pdm: retries exhausted after %d attempts: %w", r.maxRetries()+1, err)
+}
+
+// Fault returns the fault-injecting backend installed by Config.Fault, or
+// nil — tests and experiments use it to audit how many faults actually
+// fired against the retries the Stats report.
+func (v *Volume) Fault() *FaultBackend { return v.fault }
 
 // Config returns the volume's configuration.
 func (v *Volume) Config() Config { return v.cfg }

@@ -3,6 +3,7 @@ package pdm
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Pool enforces the internal-memory budget of the model: it hands out at most
@@ -20,10 +21,11 @@ type Pool struct {
 	blockBytes int
 	capacity   int
 
-	mu    sync.Mutex
-	inUse int
-	peak  int
-	free  []*Frame
+	mu      sync.Mutex
+	inUse   int
+	peak    int
+	free    []*Frame
+	waiters []chan struct{} // FIFO of WaitRelease parkers; head signalled per Release
 }
 
 // Frame is one block-sized memory buffer on loan from a Pool.
@@ -119,6 +121,48 @@ func (p *Pool) AllocN(n int) ([]*Frame, error) {
 	return frames, nil
 }
 
+// WaitRelease parks the caller in the pool's FIFO until some frame is
+// released (true) or the deadline passes (false). It is the admission
+// primitive behind the serving layer's overload handling: a request that
+// found the pool starved parks here, each Release wakes exactly the head
+// waiter, and the woken request retries its allocation. WaitRelease does
+// not itself allocate anything — capacity seen on wake-up can be claimed
+// by a non-waiting caller first, so callers loop: park, retry, park.
+func (p *Pool) WaitRelease(deadline time.Time) bool {
+	ch := make(chan struct{})
+	p.mu.Lock()
+	p.waiters = append(p.waiters, ch)
+	p.mu.Unlock()
+	t := time.NewTimer(time.Until(deadline))
+	defer t.Stop()
+	select {
+	case <-ch:
+		return true
+	case <-t.C:
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, w := range p.waiters {
+		if w == ch {
+			p.waiters = append(p.waiters[:i], p.waiters[i+1:]...)
+			return false
+		}
+	}
+	// Signalled concurrently with the timeout: the deadline still governs
+	// this caller, but the release it consumed is passed on to the next
+	// waiter rather than swallowed.
+	p.signalLocked()
+	return false
+}
+
+// signalLocked wakes the head waiter, if any. Caller holds p.mu.
+func (p *Pool) signalLocked() {
+	if len(p.waiters) > 0 {
+		close(p.waiters[0])
+		p.waiters = p.waiters[1:]
+	}
+}
+
 // Release returns the frame to its pool. Releasing twice panics, as it
 // indicates corrupted buffer accounting.
 func (f *Frame) Release() {
@@ -130,6 +174,7 @@ func (f *Frame) Release() {
 	p.mu.Lock()
 	p.inUse--
 	p.free = append(p.free, f)
+	p.signalLocked()
 	p.mu.Unlock()
 }
 

@@ -24,7 +24,10 @@
 // extend verbatim to the sharded surface: the aggregate is byte-identical
 // across backends exactly when every shard's snapshot is. Every error a
 // shard surfaces is wrapped with its shard index (errors.Is/As still see
-// the cause), so a starved pool reports which shard hit its budget.
+// the cause), so a starved pool reports which shard hit its budget; a
+// batch fan-out that loses some shards but not all degrades gracefully,
+// returning the survivors' answers alongside a *PartialError instead of
+// failing the whole batch (see PartialError for the contract).
 package shard
 
 import (
@@ -103,10 +106,44 @@ func cutBatch(splits []uint64, keys []uint64) (order []int, segs []batchSeg) {
 	return order, segs
 }
 
+// PartialError reports a fanned-out GetBatch that lost some shards while
+// the rest answered: graceful degradation instead of failing the whole
+// batch for one faulted shard. It is returned alongside the surviving
+// results — vals and found stay valid for every key whose Served entry is
+// true — so a caller that can tolerate holes keeps the answers it got,
+// and one that cannot treats the error like any other failure.
+//
+// Unwrap exposes every per-shard cause (each already wrapped with its
+// shard index), so errors.Is and errors.As see through to the underlying
+// classification — a starved shard's pdm.ErrNoFrames, a shed shard's
+// overload, a dead disk's pdm.ErrFaulted.
+type PartialError struct {
+	// Failed and Causes are the shards that failed, ascending, with their
+	// wrapped errors aligned.
+	Failed []int
+	Causes []error
+	// Answered are the shards whose results are intact, ascending.
+	Answered []int
+	// Served aligns with the caller's keys: true exactly when the key's
+	// shard answered, so its vals/found entries are trustworthy.
+	Served []bool
+}
+
+func (e *PartialError) Error() string {
+	return fmt.Sprintf("shard: partial batch: %d of %d shards failed (first: %v)",
+		len(e.Failed), len(e.Failed)+len(e.Answered), e.Causes[0])
+}
+
+// Unwrap exposes the per-shard causes.
+func (e *PartialError) Unwrap() []error { return e.Causes }
+
 // fanOutBatch answers an aligned batch through per-shard GetBatch calls:
 // cut the sorted view, fan the sub-batches out concurrently — one
 // goroutine per shard touched, each shard on its own volume — and write
-// every shard's answers back into the caller's alignment.
+// every shard's answers back into the caller's alignment. When some but
+// not all shards fail, the surviving results are returned with a
+// *PartialError describing the holes; only a batch with no surviving
+// shard fails outright.
 func fanOutBatch(splits []uint64, keys []uint64,
 	get func(shard int, sub []uint64) ([]uint64, []bool, error)) ([]uint64, []bool, error) {
 	vals := make([]uint64, len(keys))
@@ -137,12 +174,32 @@ func fanOutBatch(splits []uint64, keys []uint64,
 		}(si, sg)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, nil, err
+	perr := &PartialError{}
+	for si, sg := range segs {
+		if errs[si] != nil {
+			perr.Failed = append(perr.Failed, sg.shard)
+			perr.Causes = append(perr.Causes, errs[si])
+		} else {
+			perr.Answered = append(perr.Answered, sg.shard)
 		}
 	}
-	return vals, found, nil
+	if len(perr.Failed) == 0 {
+		return vals, found, nil
+	}
+	if len(perr.Answered) == 0 {
+		// Nothing survived: no degradation to offer, fail plainly.
+		return nil, nil, perr.Causes[0]
+	}
+	perr.Served = make([]bool, len(keys))
+	for si, sg := range segs {
+		if errs[si] != nil {
+			continue
+		}
+		for m := sg.lo; m < sg.hi; m++ {
+			perr.Served[order[m]] = true
+		}
+	}
+	return vals, found, perr
 }
 
 // addStats accumulates one shard's snapshot into the aggregate: the scalar
@@ -154,6 +211,7 @@ func addStats(agg *pdm.Stats, s pdm.Stats) {
 	agg.Reads += s.Reads
 	agg.Writes += s.Writes
 	agg.Steps += s.Steps
+	agg.Retries += s.Retries
 	agg.PerDiskReads = append(agg.PerDiskReads, s.PerDiskReads...)
 	agg.PerDiskWrites = append(agg.PerDiskWrites, s.PerDiskWrites...)
 }

@@ -48,8 +48,24 @@ func (s *Store) Get(key uint64) (uint64, bool, error) {
 
 // GetBatch looks up many keys: buffered overlays first, the remainder
 // through the generation's level-batched GetBatch, so the counted reads
-// for the B-tree share stay at the parallel-disk batch cost.
+// for the B-tree share stay at the parallel-disk batch cost. With
+// admission control configured, a starved pool (the generation cache
+// faulting pages in) queues and sheds instead of failing hard.
 func (s *Store) GetBatch(keys []uint64) ([]uint64, []bool, error) {
+	var vals []uint64
+	var found []bool
+	err := s.gate.Do(func() (err error) {
+		vals, found, err = s.getBatch(keys)
+		return err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return vals, found, nil
+}
+
+// getBatch is one un-gated batch-lookup attempt.
+func (s *Store) getBatch(keys []uint64) ([]uint64, []bool, error) {
 	vals := make([]uint64, len(keys))
 	found := make([]bool, len(keys))
 	s.mu.RLock()

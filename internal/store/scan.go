@@ -93,6 +93,23 @@ type Scanner struct {
 // scan runs through a private read session (prefetched leaf reads, its own
 // cache budget), overlaid with the buffered operations in range.
 func (s *Store) Scan(lo, hi uint64) (index.Scanner, error) {
+	var out index.Scanner
+	err := s.gate.Do(func() error {
+		sc, err := s.scan(lo, hi)
+		if err != nil {
+			return err
+		}
+		out = sc
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// scan is one un-gated snapshot-scan attempt.
+func (s *Store) scan(lo, hi uint64) (index.Scanner, error) {
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()

@@ -44,20 +44,28 @@ func (s *Store) NewSession(cacheFrames, width int) (index.Session, error) {
 	if width < 1 {
 		width = s.cfg.Width
 	}
-	s.mu.RLock()
-	if s.closed {
+	var out *Session
+	err := s.gate.Do(func() error {
+		s.mu.RLock()
+		if s.closed {
+			s.mu.RUnlock()
+			return ErrClosed
+		}
+		gen := s.gen
+		gen.refs.Add(1)
 		s.mu.RUnlock()
-		return nil, ErrClosed
-	}
-	gen := s.gen
-	gen.refs.Add(1)
-	s.mu.RUnlock()
-	sess, err := openGenSession(gen, s, cacheFrames, width)
+		sess, err := openGenSession(gen, s, cacheFrames, width)
+		if err != nil {
+			s.releaseGen(gen)
+			return err
+		}
+		out = &Session{s: s, cache: cacheFrames, width: width, gen: gen, sess: sess}
+		return nil
+	})
 	if err != nil {
-		s.releaseGen(gen)
 		return nil, err
 	}
-	return &Session{s: s, cache: cacheFrames, width: width, gen: gen, sess: sess}, nil
+	return out, nil
 }
 
 // openGenSession opens a btree session under the generation's cache lock

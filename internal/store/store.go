@@ -23,9 +23,11 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"em/internal/btree"
 	"em/internal/buffertree"
+	"em/internal/index"
 	"em/internal/pdm"
 	"em/internal/record"
 	"em/internal/stream"
@@ -64,6 +66,15 @@ type Config struct {
 	// fields default to fanout 8 and a four-block buffer; StartSeq is
 	// managed by the store.
 	Front buffertree.Config
+	// AdmitQueue and AdmitWait enable admission control on the serving
+	// entry points (GetBatch, Scan, NewSession): a request that finds the
+	// pool starved joins a bounded FIFO of at most AdmitQueue waiters and
+	// retries as frames free up, for at most AdmitWait, before shedding
+	// with an index.OverloadError (which wraps pdm.ErrNoFrames). Both
+	// zero — the default — leaves admission off; setting one picks the
+	// package default for the other.
+	AdmitQueue int
+	AdmitWait  time.Duration
 }
 
 // generation is one immutable B-tree the store serves reads from. Point
@@ -85,6 +96,7 @@ type Store struct {
 	vol  *pdm.Volume
 	pool *pdm.Pool
 	cfg  Config
+	gate *index.Gate // admission over the serving entry points; nil = off
 
 	sealOps int64 // effective front threshold in ops
 
@@ -168,6 +180,7 @@ func Open(vol *pdm.Volume, pool *pdm.Pool, cfg Config) (*Store, error) {
 		vol:       vol,
 		pool:      pool,
 		cfg:       cfg,
+		gate:      index.NewGate(pool, cfg.AdmitQueue, cfg.AdmitWait),
 		sealOps:   sealOps,
 		drainPool: pdm.NewPool(vol.BlockBytes(), drainFrames),
 		reserve:   reserve,
